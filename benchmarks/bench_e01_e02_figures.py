@@ -1,0 +1,40 @@
+"""E1 / E2: regenerate the paper's Figure 1 and Figure 2 run traces.
+
+The assertions pin the exact input/output sequences; the benchmark
+measures the cost of executing the runs (the paper reports no numbers
+-- the *content* of the figures is the reproduced artifact, printed on
+stdout for EXPERIMENTS.md).
+"""
+
+from repro.commerce.models import FIGURE1_INPUTS, FIGURE2_INPUTS
+from repro.core.run import format_run_figure
+
+
+def test_e01_figure1_short(benchmark, short, catalog_db):
+    run = benchmark(short.run, catalog_db, FIGURE1_INPUTS)
+    assert run.outputs[0]["sendbill"] == {("time", 55)}
+    assert run.outputs[1]["deliver"] == {("time",)}
+    assert run.outputs[2]["sendbill"] == {("le_monde", 350)}
+    assert run.outputs[3]["deliver"] == {("le_monde",)}
+    print()
+    print(format_run_figure(run, "Figure 1: a run of SHORT"))
+
+
+def test_e02_figure2_friendly(benchmark, friendly, catalog_db):
+    run = benchmark(friendly.run, catalog_db, FIGURE2_INPUTS)
+    assert run.outputs[0]["unavailable"] == {("vogue",)}
+    assert run.outputs[1]["rejectpay"] == {("newsweek",)}
+    assert run.outputs[2]["alreadypaid"] == {("time",)}
+    assert run.outputs[3]["rebill"] == {("newsweek", 45)}
+    print()
+    print(format_run_figure(run, "Figure 2: a run of FRIENDLY"))
+
+
+def test_e01_throughput_long_session(benchmark, short):
+    """Session-throughput variant: a 50-step generated workload."""
+    from repro.commerce import CatalogGenerator, SessionGenerator
+
+    catalog = CatalogGenerator(seed=11).generate(20)
+    inputs = SessionGenerator(catalog, seed=3).session(50)
+    run = benchmark(short.run, catalog.as_database(), inputs)
+    assert len(run) == 50

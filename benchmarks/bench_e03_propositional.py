@@ -1,0 +1,59 @@
+"""E3: the Section 3.1 propositional example and characterization.
+
+Reproduces: Gen(abstar-transducer) = prefix-closure(ab*c); the
+prefix closure of (ab)* is *not* generable; the converse construction
+round-trips a generable language back through a transducer.
+"""
+
+from repro.automata import is_generable_language, prefix_closure
+from repro.automata.propositional import (
+    build_abc_example,
+    gen_automaton,
+    gen_words,
+    transducer_for_automaton,
+)
+from repro.automata.regular import concat, literal, star
+
+
+def _abstar_c():
+    return prefix_closure(
+        concat(literal("a"), star(literal("b")), literal("c")).to_dfa()
+    )
+
+
+def test_e03_gen_matches_prefix_closure(benchmark):
+    abc = build_abc_example()
+    generated = benchmark(gen_words, abc, 6)
+    assert generated == _abstar_c().words_up_to(6)
+    print()
+    print("Gen(T) up to length 4:",
+          sorted("".join(w) or "ε" for w in gen_words(abc, 4)))
+
+
+def test_e03_characterization(benchmark):
+    good = _abstar_c()
+    bad = prefix_closure(star(concat(literal("a"), literal("b"))).to_dfa())
+
+    def check():
+        return is_generable_language(good), is_generable_language(bad)
+
+    good_ok, bad_ok = benchmark(check)
+    assert good_ok and not bad_ok
+    print()
+    print(f"prefix(ab*c) generable: {good_ok}; prefix((ab)*) generable: {bad_ok}")
+
+
+def test_e03_converse_roundtrip(benchmark):
+    language = _abstar_c()
+    transducer = benchmark(transducer_for_automaton, language)
+    assert gen_words(transducer, 5) == language.words_up_to(5)
+
+
+def test_e03_gen_automaton_structure(benchmark):
+    abc = build_abc_example()
+    nfa = benchmark(gen_automaton, abc)
+    from repro.automata import has_only_self_loop_cycles, is_prefix_closed
+
+    dfa = nfa.to_dfa()
+    assert is_prefix_closed(dfa)
+    assert has_only_self_loop_cycles(dfa)

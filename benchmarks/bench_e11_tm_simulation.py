@@ -1,0 +1,117 @@
+"""E11: the Theorem 4.2 Turing-machine simulation.
+
+Compiles word-generating NTMs into Spocus transducers and checks that
+the error-free simulation runs output exactly the prefix closure of the
+machine's language, letter by letter; deviating inputs trip the error
+rules.  Also reports the size of the compiled rule set.
+"""
+
+import copy
+
+import pytest
+
+from repro.automata.tm_compiler import compile_tm, simulation_inputs
+from repro.automata.turing import word_writer_ntm
+from repro.core.acceptors import is_error_free
+
+
+def _emitted(run):
+    return tuple(
+        name[2:]
+        for output in run.outputs
+        for name in output.schema.names
+        if name.startswith("p_") and output[name]
+    )
+
+
+def test_e11_simulation_outputs_language(benchmark):
+    ntm = word_writer_ntm(["xy", "x"])
+    compiled = compile_tm(ntm)
+
+    def simulate_all():
+        seen = set()
+        for trace in ntm.computations(4, 12):
+            run = compiled.transducer.run(
+                {}, simulation_inputs(compiled, trace)
+            )
+            assert is_error_free(run)
+            seen.add(_emitted(run))
+        return seen
+
+    seen = benchmark(simulate_all)
+    assert seen == {("x", "y"), ("x",)}
+    print(f"\nGen_error-free(T) full words: {sorted(seen)}")
+    print(f"compiled rule count: {len(compiled.transducer.output_program)}")
+
+
+def test_e11_prefixes_also_generated(benchmark):
+    ntm = word_writer_ntm(["xyz"])
+    compiled = compile_tm(ntm)
+    trace = next(iter(ntm.computations(5, 14)))
+
+    def prefixes():
+        words = set()
+        full = trace[-1][1].word()
+        for length in range(len(full) + 1):
+            run = compiled.transducer.run(
+                {}, simulation_inputs(compiled, trace, output_length=length)
+            )
+            assert is_error_free(run)
+            words.add(_emitted(run))
+        return words
+
+    words = benchmark(prefixes)
+    assert words == {(), ("x",), ("x", "y"), ("x", "y", "z")}
+    print(f"\nprefix closure observed: {sorted(words)}")
+
+
+@pytest.mark.parametrize("mutation", ["content", "move", "stamp", "skip"])
+def test_e11_deviations_detected(benchmark, mutation):
+    ntm = word_writer_ntm(["xy"])
+    compiled = compile_tm(ntm)
+    trace = next(iter(ntm.computations(4, 12)))
+    steps = simulation_inputs(compiled, trace)
+
+    def mutate():
+        bad = copy.deepcopy(steps)
+        if mutation == "skip":
+            bad = bad[len(trace[0][1].tape):]
+            return bad
+        for step in bad:
+            if "move" in step:
+                if mutation == "content":
+                    row = next(iter(step["tape"]))
+                    step["tape"].discard(row)
+                    step["tape"].add(
+                        (row[0], row[1], row[2],
+                         "y" if row[3] != "y" else "x", row[4])
+                    )
+                elif mutation == "move":
+                    step["move"] = {(99,)}
+                elif mutation == "stamp":
+                    step["tape"] = {
+                        (0,) + row[1:] for row in step["tape"]
+                    }
+                break
+        return bad
+
+    bad = mutate()
+    run = benchmark(compiled.transducer.run, {}, bad)
+    assert not is_error_free(run)
+
+
+@pytest.mark.parametrize("word_len", [1, 2, 3, 4])
+def test_e11_scaling_word_length(benchmark, word_len):
+    word = "".join("xy"[i % 2] for i in range(word_len))
+    ntm = word_writer_ntm([word])
+    compiled = compile_tm(ntm)
+    # The index pool built in stage 1 doubles as the stamp pool, so the
+    # tape must be at least as long as the computation (the paper:
+    # "if the number of indexes is insufficient the simulation fails").
+    trace = next(iter(ntm.computations(2 * word_len + 2, 4 * word_len + 6)))
+    steps = simulation_inputs(compiled, trace)
+    run = benchmark(compiled.transducer.run, {}, steps)
+    assert is_error_free(run)
+    assert _emitted(run) == tuple(word)
+    print(f"\n|w|={word_len}: {len(steps)} simulation steps, "
+          f"{len(compiled.transducer.output_program)} rules")

@@ -1,0 +1,33 @@
+"""E15: log minimization (Section 2.1, "Minimizing the log").
+
+Reproduces the paper's observation that ``deliver`` can be removed from
+``short``'s log without information loss, and searches the minimal
+logs.  Bounded-determinacy semantics: exact over runs of the stated
+length with at most one new fact per step over the active domain.
+"""
+
+from repro.commerce import minimal_logs, removable_log_relations
+
+SMALL_DB = {"price": {("a", 10)}, "available": {("a",)}}
+
+
+def test_e15_deliver_removable(benchmark, short):
+    removable = benchmark(removable_log_relations, short, SMALL_DB)
+    assert "deliver" in removable
+    assert "pay" not in removable
+    print(f"\nremovable log relations of SHORT: {sorted(removable)}")
+
+
+def test_e15_minimal_logs(benchmark, short):
+    minima = benchmark(minimal_logs, short, SMALL_DB)
+    assert minima
+    assert all("deliver" not in m for m in minima)
+    print(f"\nminimal logs: {minima}")
+
+
+def test_e15_two_product_db(benchmark, short):
+    db = {"price": {("a", 10), ("b", 20)}, "available": {("a",), ("b",)}}
+    removable = benchmark(
+        removable_log_relations, short, db, 2, 1, ["a", 10, 20]
+    )
+    assert "deliver" in removable

@@ -1,0 +1,30 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+import pytest
+
+from repro.commerce.models import (
+    build_buggy_store,
+    build_friendly,
+    build_short,
+    default_database,
+)
+
+
+@pytest.fixture(scope="session")
+def short():
+    return build_short()
+
+
+@pytest.fixture(scope="session")
+def friendly():
+    return build_friendly()
+
+
+@pytest.fixture(scope="session")
+def buggy():
+    return build_buggy_store()
+
+
+@pytest.fixture(scope="session")
+def catalog_db():
+    return default_database()

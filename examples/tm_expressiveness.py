@@ -1,0 +1,80 @@
+"""Expressiveness: propositional languages and Turing power (Thm 4.2).
+
+Two sides of the paper's expressiveness story:
+
+* *without* input control, propositional Spocus transducers generate
+  exactly the prefix-closed regular languages whose minimal automata
+  have only self-loop cycles (Section 3.1);
+* *with* error-free input control, they simulate arbitrary Turing
+  machines: Gen_error-free ranges over all prefix-closed r.e. languages
+  (Theorem 4.2).
+
+Run with:  python examples/tm_expressiveness.py
+"""
+
+from repro.automata import (
+    compile_tm,
+    is_generable_language,
+    prefix_closure,
+    simulation_inputs,
+)
+from repro.automata.propositional import (
+    build_abc_example,
+    gen_words,
+    transducer_for_automaton,
+)
+from repro.automata.regular import concat, literal, star
+from repro.automata.turing import word_writer_ntm
+from repro.core.acceptors import is_error_free
+
+
+def main() -> None:
+    # -- Section 3.1: the ab*c example ----------------------------------------
+    abc = build_abc_example()
+    words = sorted("".join(w) or "ε" for w in gen_words(abc, 4))
+    print(f"Gen(ab*c transducer) up to length 4: {words}")
+
+    good = prefix_closure(
+        concat(literal("a"), star(literal("b")), literal("c")).to_dfa()
+    )
+    bad = prefix_closure(star(concat(literal("a"), literal("b"))).to_dfa())
+    print(f"prefix(ab*c) generable: {is_generable_language(good)}")
+    print(f"prefix((ab)*) generable: {is_generable_language(bad)}")
+
+    # The converse construction: language -> transducer.
+    synthesized = transducer_for_automaton(good)
+    assert gen_words(synthesized, 4) == good.words_up_to(4)
+    print("converse construction round-trips prefix(ab*c): True")
+
+    # -- Theorem 4.2: TM simulation --------------------------------------------
+    ntm = word_writer_ntm(["xy", "z"])
+    compiled = compile_tm(ntm)
+    print(
+        f"\ncompiled NTM -> Spocus transducer: "
+        f"{len(compiled.transducer.output_program)} rules, "
+        f"{len(tuple(compiled.transducer.schema.inputs))} input relations"
+    )
+    for trace in ntm.computations(tape_length=4, max_steps=12):
+        steps = simulation_inputs(compiled, trace)
+        run = compiled.transducer.run({}, steps)
+        word = "".join(
+            name[2:]
+            for output in run.outputs
+            for name in output.schema.names
+            if name.startswith("p_") and output[name]
+        )
+        print(
+            f"  computation of {len(trace) - 1} moves: error-free="
+            f"{is_error_free(run)}, output word {word!r}"
+        )
+
+    # Any deviation from the protocol trips an error rule:
+    trace = next(iter(ntm.computations(4, 12)))
+    steps = simulation_inputs(compiled, trace)
+    steps[len(trace[0][1].tape):][0]["move"] = {(99,)}
+    cheating = compiled.transducer.run({}, steps)
+    print(f"cheating run error-free: {is_error_free(cheating)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy `pip install -e .` code path (the sandbox this repo is developed
+in has no network access and no `wheel` distribution, so PEP 660
+editable installs are unavailable).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro: relational transducers for electronic commerce.
+
+A full reproduction of Abiteboul, Vianu, Fordham & Yesha (PODS 1998 /
+JCSS 2000).  The most common entry points are re-exported here; the
+subpackages hold the full API:
+
+* :mod:`repro.core` -- the transducer model (Spocus and general);
+* :mod:`repro.verify` -- the decision procedures of Sections 3-4;
+* :mod:`repro.commerce` -- the paper's business models and tooling;
+* :mod:`repro.automata` -- expressiveness results (Sec 3.1, Thm 4.2);
+* :mod:`repro.datalog`, :mod:`repro.relalg`, :mod:`repro.logic` -- the
+  substrates (rule language, relational model, BSR/SAT solving).
+"""
+
+from repro.core import RelationalTransducer, SpocusTransducer, parse_transducer
+from repro.verify import (
+    Goal,
+    holds_on_all_runs,
+    is_goal_reachable,
+    is_valid_log,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RelationalTransducer",
+    "SpocusTransducer",
+    "parse_transducer",
+    "Goal",
+    "is_valid_log",
+    "is_goal_reachable",
+    "holds_on_all_runs",
+    "__version__",
+]

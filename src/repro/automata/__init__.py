@@ -1,0 +1,56 @@
+"""Automata-theoretic substrate.
+
+Supports the expressiveness results of the paper: the characterization
+of the output languages of propositional Spocus transducers
+(Section 3.1), and the Turing-machine simulation by error-free runs
+(Theorem 4.2).
+"""
+
+from repro.automata.nfa import NFA
+from repro.automata.dfa import DFA
+from repro.automata.regular import (
+    concat,
+    from_words,
+    literal,
+    prefix_closure,
+    star,
+    union,
+)
+from repro.automata.prefixclosed import (
+    has_only_self_loop_cycles,
+    is_generable_language,
+    is_prefix_closed,
+)
+from repro.automata.propositional import (
+    PropositionalTransducer,
+    build_abc_example,
+    gen_automaton,
+    gen_words,
+    transducer_for_automaton,
+)
+from repro.automata.turing import NTM, TMConfig
+from repro.automata.tm_compiler import CompiledTM, compile_tm, simulation_inputs
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "literal",
+    "union",
+    "concat",
+    "star",
+    "from_words",
+    "prefix_closure",
+    "is_prefix_closed",
+    "has_only_self_loop_cycles",
+    "is_generable_language",
+    "PropositionalTransducer",
+    "gen_automaton",
+    "gen_words",
+    "build_abc_example",
+    "transducer_for_automaton",
+    "NTM",
+    "TMConfig",
+    "CompiledTM",
+    "compile_tm",
+    "simulation_inputs",
+]

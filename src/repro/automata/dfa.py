@@ -1,0 +1,178 @@
+"""Deterministic finite automata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+State = Hashable
+Symbol = str
+
+
+@dataclass
+class DFA:
+    """A (possibly partial) DFA; missing transitions reject."""
+
+    states: set[State]
+    alphabet: set[Symbol]
+    transitions: dict[tuple[State, Symbol], State]
+    start: State
+    accepting: set[State]
+
+    def __post_init__(self) -> None:
+        self.states = set(self.states)
+        self.alphabet = set(self.alphabet)
+        self.accepting = set(self.accepting)
+
+    def step(self, state: State, symbol: Symbol) -> State | None:
+        return self.transitions.get((state, symbol))
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        state: State | None = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return state in self.accepting
+
+    # -- structural helpers -------------------------------------------------------
+
+    def reachable_states(self) -> set[State]:
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            for symbol in self.alphabet:
+                nxt = self.step(state, symbol)
+                if nxt is not None and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def coaccessible_states(self) -> set[State]:
+        """States from which an accepting state is reachable."""
+        inverse: dict[State, set[State]] = {}
+        for (src, _symbol), dst in self.transitions.items():
+            inverse.setdefault(dst, set()).add(src)
+        seen = set(self.accepting)
+        stack = list(self.accepting)
+        while stack:
+            state = stack.pop()
+            for prev in inverse.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    stack.append(prev)
+        return seen
+
+    def trim(self) -> "DFA":
+        """Keep only reachable states that can still accept."""
+        useful = self.reachable_states() & self.coaccessible_states()
+        transitions = {
+            (src, symbol): dst
+            for (src, symbol), dst in self.transitions.items()
+            if src in useful and dst in useful
+        }
+        if self.start not in useful:
+            # Empty language: a single non-accepting state.
+            return DFA({self.start}, set(self.alphabet), {}, self.start, set())
+        return DFA(
+            useful, set(self.alphabet), transitions, self.start,
+            self.accepting & useful,
+        )
+
+    def minimize(self) -> "DFA":
+        """Moore's partition-refinement minimization (on the trim part)."""
+        trimmed = self.trim()
+        states = sorted(trimmed.states, key=repr)
+        if not states:
+            return trimmed
+        partition: dict[State, int] = {
+            s: (0 if s in trimmed.accepting else 1) for s in states
+        }
+        alphabet = sorted(trimmed.alphabet)
+        while True:
+            signatures: dict[State, tuple] = {}
+            for s in states:
+                signature = (partition[s],) + tuple(
+                    partition.get(trimmed.step(s, a), -1) for a in alphabet
+                )
+                signatures[s] = signature
+            renumber: dict[tuple, int] = {}
+            new_partition: dict[State, int] = {}
+            for s in states:
+                block = renumber.setdefault(signatures[s], len(renumber))
+                new_partition[s] = block
+            if new_partition == partition:
+                break
+            partition = new_partition
+        transitions: dict[tuple[int, Symbol], int] = {}
+        for (src, symbol), dst in trimmed.transitions.items():
+            transitions[(partition[src], symbol)] = partition[dst]
+        return DFA(
+            states=set(partition.values()),
+            alphabet=set(trimmed.alphabet),
+            transitions=transitions,
+            start=partition[trimmed.start],
+            accepting={partition[s] for s in trimmed.accepting},
+        )
+
+    def words_up_to(self, max_length: int) -> set[tuple[Symbol, ...]]:
+        """All accepted words of length ≤ max_length."""
+        results: set[tuple[Symbol, ...]] = set()
+        frontier: list[tuple[tuple[Symbol, ...], State]] = [((), self.start)]
+        while frontier:
+            word, state = frontier.pop()
+            if state in self.accepting:
+                results.add(word)
+            if len(word) == max_length:
+                continue
+            for symbol in sorted(self.alphabet):
+                nxt = self.step(state, symbol)
+                if nxt is not None:
+                    frontier.append((word + (symbol,), nxt))
+        return results
+
+    def iter_transitions(self) -> Iterator[tuple[State, Symbol, State]]:
+        for (src, symbol), dst in sorted(self.transitions.items(), key=repr):
+            yield src, symbol, dst
+
+    def product(self, other: "DFA", accept_both: bool) -> "DFA":
+        """Product automaton: intersection (True) or union semantics."""
+        alphabet = self.alphabet | other.alphabet
+        start = (self.start, other.start)
+        states = {start}
+        transitions: dict[tuple[State, Symbol], State] = {}
+        stack = [start]
+        while stack:
+            pair = stack.pop()
+            for symbol in alphabet:
+                left = self.step(pair[0], symbol)
+                right = other.step(pair[1], symbol)
+                if accept_both and (left is None or right is None):
+                    continue
+                nxt = (left, right)
+                transitions[(pair, symbol)] = nxt
+                if nxt not in states:
+                    states.add(nxt)
+                    stack.append(nxt)
+        if accept_both:
+            accepting = {
+                (a, b)
+                for (a, b) in states
+                if a in self.accepting and b in other.accepting
+            }
+        else:
+            accepting = {
+                (a, b)
+                for (a, b) in states
+                if a in self.accepting or b in other.accepting
+            }
+        return DFA(states, alphabet, transitions, start, accepting)
+
+    def equivalent_to(self, other: "DFA", probe_length: int = 8) -> bool:
+        """Language equivalence via minimized-automaton word probing.
+
+        Exact when ``probe_length`` ≥ the product automaton's state
+        count; the default suffices for the library's small automata.
+        """
+        return self.words_up_to(probe_length) == other.words_up_to(probe_length)

@@ -1,0 +1,125 @@
+"""Nondeterministic finite automata with epsilon moves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+State = Hashable
+Symbol = str
+
+EPSILON = None  # the epsilon label
+
+
+@dataclass
+class NFA:
+    """An NFA: transitions map (state, symbol-or-None) to state sets."""
+
+    states: set[State]
+    alphabet: set[Symbol]
+    transitions: dict[tuple[State, Symbol | None], set[State]]
+    start: State
+    accepting: set[State]
+
+    def __post_init__(self) -> None:
+        self.states = set(self.states)
+        self.alphabet = set(self.alphabet)
+        self.accepting = set(self.accepting)
+        if self.start not in self.states:
+            raise ValueError("start state not among states")
+
+    def add_transition(self, src: State, symbol: Symbol | None, dst: State) -> None:
+        self.states.add(src)
+        self.states.add(dst)
+        if symbol is not None:
+            self.alphabet.add(symbol)
+        self.transitions.setdefault((src, symbol), set()).add(dst)
+
+    def successors(self, state: State, symbol: Symbol | None) -> set[State]:
+        return self.transitions.get((state, symbol), set())
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.successors(state, EPSILON):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            nxt: set[State] = set()
+            for state in current:
+                nxt |= self.successors(state, symbol)
+            current = self.epsilon_closure(nxt)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def to_dfa(self) -> "DFA":
+        """Subset construction (lazy, reachable part only)."""
+        from repro.automata.dfa import DFA
+
+        start = self.epsilon_closure({self.start})
+        subsets: dict[frozenset[State], int] = {start: 0}
+        worklist = [start]
+        transitions: dict[tuple[int, Symbol], int] = {}
+        accepting: set[int] = set()
+        if start & self.accepting:
+            accepting.add(0)
+        while worklist:
+            subset = worklist.pop()
+            index = subsets[subset]
+            for symbol in sorted(self.alphabet):
+                targets: set[State] = set()
+                for state in subset:
+                    targets |= self.successors(state, symbol)
+                closure = self.epsilon_closure(targets)
+                if not closure:
+                    continue
+                if closure not in subsets:
+                    subsets[closure] = len(subsets)
+                    worklist.append(closure)
+                    if closure & self.accepting:
+                        accepting.add(subsets[closure])
+                transitions[(index, symbol)] = subsets[closure]
+        return DFA(
+            states=set(subsets.values()),
+            alphabet=set(self.alphabet),
+            transitions=transitions,
+            start=0,
+            accepting=accepting,
+        )
+
+    def words_up_to(self, max_length: int) -> set[tuple[Symbol, ...]]:
+        """All accepted words of length ≤ max_length (exhaustive BFS)."""
+        results: set[tuple[Symbol, ...]] = set()
+        start = self.epsilon_closure({self.start})
+        frontier: dict[tuple[Symbol, ...], frozenset[State]] = {(): start}
+        for _ in range(max_length + 1):
+            next_frontier: dict[tuple[Symbol, ...], frozenset[State]] = {}
+            for word, states in frontier.items():
+                if states & self.accepting:
+                    results.add(word)
+                if len(word) == max_length:
+                    continue
+                for symbol in sorted(self.alphabet):
+                    targets: set[State] = set()
+                    for state in states:
+                        targets |= self.successors(state, symbol)
+                    closure = self.epsilon_closure(targets)
+                    if closure:
+                        key = word + (symbol,)
+                        existing = next_frontier.get(key)
+                        if existing is None:
+                            next_frontier[key] = closure
+                        else:
+                            next_frontier[key] = existing | closure
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return results

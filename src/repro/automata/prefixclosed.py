@@ -1,0 +1,70 @@
+"""The Section 3.1 characterization of propositional Spocus languages.
+
+"They are the prefix-closed regular languages accepted by finite
+automata with no cycles except self loops.  Intuitively, this is due to
+the inflationary nature of states in Spocus transducers: one can never
+return to a previous state."
+
+This module provides the two structural predicates and the combined
+:func:`is_generable_language` test: prefix-closure of the (trimmed)
+language and acyclicity of the (trimmed, minimized) automaton modulo
+self-loops.  The prefix closure of ``ab*c`` passes; the prefix closure
+of ``(ab)*`` fails, exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+
+
+def is_prefix_closed(dfa: DFA) -> bool:
+    """A trimmed DFA accepts a prefix-closed language iff every useful
+    state is accepting (including the start state, unless the language
+    is empty)."""
+    trimmed = dfa.trim()
+    useful = trimmed.reachable_states() & trimmed.coaccessible_states()
+    if not trimmed.accepting:
+        return True  # the empty language is (vacuously) prefix closed
+    return useful <= trimmed.accepting and trimmed.start in trimmed.accepting
+
+
+def has_only_self_loop_cycles(dfa: DFA) -> bool:
+    """True if every cycle of the trimmed transition graph is a self-loop.
+
+    Checked by deleting self-loops and testing acyclicity with a DFS
+    three-coloring.
+    """
+    trimmed = dfa.trim()
+    edges: dict[object, set[object]] = {}
+    for (src, _symbol), dst in trimmed.transitions.items():
+        if src != dst:
+            edges.setdefault(src, set()).add(dst)
+    color: dict[object, int] = {}
+
+    def visit(node: object) -> bool:
+        color[node] = 1
+        for nxt in edges.get(node, ()):
+            state = color.get(nxt, 0)
+            if state == 1:
+                return True
+            if state == 0 and visit(nxt):
+                return True
+        color[node] = 2
+        return False
+
+    return not any(
+        color.get(node, 0) == 0 and visit(node)
+        for node in sorted(trimmed.states, key=repr)
+    )
+
+
+def is_generable_language(dfa: DFA) -> bool:
+    """Can a propositional Spocus transducer generate this language?
+
+    Section 3.1's characterization: the language must be prefix-closed
+    and its *minimal* automaton must have no cycles other than
+    self-loops.  (Minimization matters: a non-minimal automaton may
+    contain spurious structure.)
+    """
+    minimal = dfa.minimize()
+    return is_prefix_closed(minimal) and has_only_self_loop_cycles(minimal)

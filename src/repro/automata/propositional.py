@@ -1,0 +1,299 @@
+"""Propositional Spocus transducers and their generated languages.
+
+Section 3.1 studies Spocus transducers "whose inputs and outputs are
+propositional and which further output at most one proposition at a
+time": the output sequences of such transducers, viewed as words over
+the output alphabet (steps with empty output contribute nothing), form
+the language Gen(T).  This module computes Gen(T) *exactly* as a finite
+automaton -- possible because the cumulative state ranges over the
+finite lattice of input-proposition subsets -- and implements a converse
+construction building a transducer for any language admitted by the
+Section 3.1 characterization.
+
+Runs in which some step outputs two or more propositions do not
+contribute words to Gen(T): "at most one proposition at a time" acts as
+a run filter.  The converse construction exploits this deliberately: a
+pair of *poison* propositions fires together on any input that deviates
+from a proper traversal of the automaton, disqualifying the run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.prefixclosed import is_generable_language
+from repro.core.parser import parse_transducer
+from repro.core.spocus import SpocusTransducer
+from repro.errors import VerificationError
+
+
+@dataclass
+class PropositionalTransducer:
+    """A Spocus transducer with 0-ary inputs and outputs."""
+
+    transducer: SpocusTransducer
+
+    def __post_init__(self) -> None:
+        schema = self.transducer.schema
+        bad = [
+            rel.name
+            for rel in list(schema.inputs) + list(schema.outputs)
+            if rel.arity != 0
+        ]
+        if bad:
+            raise VerificationError(
+                f"not propositional; relations with arity > 0: {bad}"
+            )
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.transducer.schema.inputs.names))
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.transducer.schema.outputs.names))
+
+
+def gen_automaton(
+    prop: PropositionalTransducer | SpocusTransducer,
+    max_inputs: int = 14,
+) -> NFA:
+    """The exact Gen(T) automaton of a propositional transducer.
+
+    States are the reachable subsets of input propositions (the
+    cumulative state lattice); for every input subset σ, the transition
+    ``S --letter--> S ∪ σ`` is labeled with the single output letter of
+    ``ω(σ, S)`` (ε when the output is empty; steps with ≥2 outputs are
+    excluded runs and contribute no transition).  All states accept, so
+    the language is prefix-closed by construction.
+    """
+    if isinstance(prop, SpocusTransducer):
+        prop = PropositionalTransducer(prop)
+    transducer = prop.transducer
+    inputs = prop.input_names
+    if len(inputs) > max_inputs:
+        raise VerificationError(
+            f"{len(inputs)} input propositions exceed the exhaustive "
+            f"bound {max_inputs}"
+        )
+    empty_db = transducer.coerce_database({})
+
+    subsets = [
+        frozenset(combo)
+        for size in range(len(inputs) + 1)
+        for combo in itertools.combinations(inputs, size)
+    ]
+    nonempty = [s for s in subsets if s]
+
+    def state_instance(past: frozenset[str]):
+        from repro.core.spocus import past as past_name
+        from repro.relalg.instance import Instance
+
+        data = {
+            past_name(name): ({()} if name in past else set())
+            for name in inputs
+        }
+        return Instance(transducer.schema.state, data)
+
+    start: frozenset[str] = frozenset()
+    nfa = NFA({start}, set(), {}, start, {start})
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for sigma in nonempty:
+            _state, output = transducer.step(
+                empty_db,
+                state_instance(current),
+                {name: {()} for name in sigma},
+            )
+            letters = [
+                name for name in prop.output_names if output[name]
+            ]
+            if len(letters) >= 2:
+                continue  # excluded run: two propositions at once
+            label = letters[0] if letters else EPSILON
+            target = current | sigma
+            nfa.add_transition(current, label, target)
+            nfa.accepting.add(target)
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return nfa
+
+
+def gen_words(
+    prop: PropositionalTransducer | SpocusTransducer, max_length: int
+) -> set[tuple[str, ...]]:
+    """Gen(T) truncated to words of length ≤ ``max_length``."""
+    return gen_automaton(prop).words_up_to(max_length)
+
+
+ABC_SOURCE = """
+transducer abstar
+schema
+  input: A/0, B/0, C/0;
+  output: a/0, b/0, c/0;
+  log: a, b, c;
+state rules
+  past-A +:- A;
+  past-B +:- B;
+  past-C +:- C;
+output rules
+  a :- A, NOT past-A;
+  b :- B, past-A, NOT past-C, NOT C;
+  c :- C, past-A, NOT past-C;
+"""
+
+
+def build_abc_example() -> PropositionalTransducer:
+    """The Section 3.1 example generating the prefixes of ``ab*c``."""
+    transducer = parse_transducer(ABC_SOURCE)
+    assert isinstance(transducer, SpocusTransducer)
+    return PropositionalTransducer(transducer)
+
+
+# ---------------------------------------------------------------------------
+# Converse construction: language -> transducer
+# ---------------------------------------------------------------------------
+
+
+def _unfold_tree(dfa: DFA):
+    """Unfold the trimmed DFA (acyclic modulo self-loops) into a tree.
+
+    Returns (nodes, tree_edges, loops): nodes are integers (0 = root);
+    ``tree_edges`` is a list of (parent_node, letter, child_node) for
+    non-self-loop transitions; ``loops`` lists (node, letter) for
+    self-loops attached to each unfolded copy of a looping state.
+    """
+    trimmed = dfa.trim()
+    nodes: list[object] = [trimmed.start]
+    tree_edges: list[tuple[int, str, int]] = []
+    loops: list[tuple[int, str]] = []
+
+    def expand(node_index: int, state) -> None:
+        for symbol in sorted(trimmed.alphabet):
+            target = trimmed.step(state, symbol)
+            if target is None:
+                continue
+            if target == state:
+                loops.append((node_index, symbol))
+                continue
+            child_index = len(nodes)
+            nodes.append(target)
+            tree_edges.append((node_index, symbol, child_index))
+            expand(child_index, target)
+
+    expand(0, trimmed.start)
+    return list(range(len(nodes))), tree_edges, loops
+
+
+def transducer_for_automaton(dfa: DFA) -> PropositionalTransducer:
+    """Build a propositional Spocus transducer with Gen(T) = L(dfa).
+
+    ``dfa`` must pass :func:`is_generable_language` (prefix-closed,
+    cycles only as self-loops).  The construction unfolds the automaton
+    into a tree, introduces one input proposition per tree edge and per
+    attached self-loop, and emits:
+
+    * a letter rule firing the edge's letter when the edge input arrives
+      after its parent edge (and, for non-loop edges, at most once);
+    * a pair of poison rules firing *two* propositions whenever an edge
+      input arrives out of order or alongside history from an
+      incompatible branch -- disqualifying the run from Gen(T).
+    """
+    if not is_generable_language(dfa):
+        raise VerificationError(
+            "language is not generable: it must be prefix-closed and its "
+            "minimal automaton may contain only self-loop cycles "
+            "(Section 3.1)"
+        )
+    minimal = dfa.minimize()
+    nodes, tree_edges, loops = _unfold_tree(minimal)
+
+    edge_input = {
+        (parent, letter, child): f"E{parent}_{child}"
+        for parent, letter, child in tree_edges
+    }
+    loop_input = {
+        (node, letter): f"L{node}_{letter}" for node, letter in loops
+    }
+
+    parent_edge: dict[int, tuple[int, str, int]] = {}
+    for edge in tree_edges:
+        parent_edge[edge[2]] = edge
+
+    def ancestors(node: int) -> list[tuple[int, str, int]]:
+        chain = []
+        while node in parent_edge:
+            edge = parent_edge[node]
+            chain.append(edge)
+            node = edge[0]
+        return chain
+
+    def allowed_inputs(node: int) -> set[str]:
+        """Inputs compatible with being at ``node``: the ancestor chain
+        and the self-loops attached along it (including at ``node``)."""
+        chain = ancestors(node)
+        names = {edge_input[e] for e in chain}
+        path_nodes = {node} | {e[0] for e in chain}
+        for (loop_node, letter), name in loop_input.items():
+            if loop_node in path_nodes:
+                names.add(name)
+        return names
+
+    all_inputs = list(edge_input.values()) + list(loop_input.values())
+    alphabet = sorted(minimal.alphabet)
+    rules: list[str] = []
+
+    def poison(trigger: str, condition: str) -> None:
+        rules.append(f"poisonA :- {trigger}{condition};")
+        rules.append(f"poisonB :- {trigger}{condition};")
+
+    for edge in tree_edges:
+        parent, letter, child = edge
+        name = edge_input[edge]
+        conditions = [name, f"NOT past-{name}"]
+        if parent in parent_edge:
+            conditions.append(f"past-{edge_input[parent_edge[parent]]}")
+        rules.append(f"{letter} :- {', '.join(conditions)};")
+        if parent in parent_edge:
+            poison(name, f", NOT past-{edge_input[parent_edge[parent]]}")
+        allowed = allowed_inputs(parent) | {name}
+        for other in all_inputs:
+            if other not in allowed:
+                poison(name, f", past-{other}")
+
+    for (node, letter), name in loop_input.items():
+        conditions = [name]
+        if node in parent_edge:
+            conditions.append(f"past-{edge_input[parent_edge[node]]}")
+        rules.append(f"{letter} :- {', '.join(conditions)};")
+        if node in parent_edge:
+            poison(name, f", NOT past-{edge_input[parent_edge[node]]}")
+        allowed = allowed_inputs(node) | {name}
+        for other in all_inputs:
+            if other not in allowed:
+                poison(name, f", past-{other}")
+
+    from repro.datalog.parser import parse_program
+    from repro.relalg.schema import DatabaseSchema, RelationSchema
+
+    inputs_schema = DatabaseSchema(
+        RelationSchema(name, 0) for name in all_inputs
+    )
+    outputs_schema = DatabaseSchema(
+        [RelationSchema(letter, 0) for letter in alphabet]
+        + [RelationSchema("poisonA", 0), RelationSchema("poisonB", 0)]
+    )
+    transducer = SpocusTransducer(
+        inputs_schema,
+        outputs_schema,
+        DatabaseSchema(()),
+        parse_program("\n".join(rules)),
+        log=tuple(alphabet),
+    )
+    return PropositionalTransducer(transducer)

@@ -1,0 +1,105 @@
+"""Regular-language constructors.
+
+Small combinator kit used by the propositional-transducer experiments:
+literals, union, concatenation, star, explicit finite languages, and
+prefix closure.  Everything returns an :class:`~repro.automata.nfa.NFA`
+(convert with ``.to_dfa()`` as needed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import EPSILON, NFA
+
+_counter = itertools.count()
+
+
+def _fresh() -> str:
+    return f"s{next(_counter)}"
+
+
+def literal(word: Sequence[str]) -> NFA:
+    """The single-word language {word} (word = sequence of symbols)."""
+    states = [_fresh() for _ in range(len(word) + 1)]
+    nfa = NFA(set(states), set(word), {}, states[0], {states[-1]})
+    for i, symbol in enumerate(word):
+        nfa.add_transition(states[i], symbol, states[i + 1])
+    return nfa
+
+
+def union(*parts: NFA) -> NFA:
+    start = _fresh()
+    nfa = NFA({start}, set(), {}, start, set())
+    for part in parts:
+        nfa.states |= part.states
+        nfa.alphabet |= part.alphabet
+        for key, targets in part.transitions.items():
+            nfa.transitions.setdefault(key, set()).update(targets)
+        nfa.accepting |= part.accepting
+        nfa.add_transition(start, EPSILON, part.start)
+    return nfa
+
+
+def concat(*parts: NFA) -> NFA:
+    if not parts:
+        start = _fresh()
+        return NFA({start}, set(), {}, start, {start})
+    result = parts[0]
+    merged = NFA(
+        set(result.states),
+        set(result.alphabet),
+        {k: set(v) for k, v in result.transitions.items()},
+        result.start,
+        set(result.accepting),
+    )
+    for part in parts[1:]:
+        merged.states |= part.states
+        merged.alphabet |= part.alphabet
+        for key, targets in part.transitions.items():
+            merged.transitions.setdefault(key, set()).update(targets)
+        for state in merged.accepting:
+            merged.transitions.setdefault((state, EPSILON), set()).add(
+                part.start
+            )
+        merged.accepting = set(part.accepting)
+    return merged
+
+
+def star(part: NFA) -> NFA:
+    start = _fresh()
+    nfa = NFA(
+        set(part.states) | {start},
+        set(part.alphabet),
+        {k: set(v) for k, v in part.transitions.items()},
+        start,
+        set(part.accepting) | {start},
+    )
+    nfa.add_transition(start, EPSILON, part.start)
+    for state in part.accepting:
+        nfa.transitions.setdefault((state, EPSILON), set()).add(part.start)
+    return nfa
+
+
+def from_words(words: Iterable[Sequence[str]]) -> NFA:
+    """The finite language consisting exactly of ``words``."""
+    parts = [literal(tuple(w)) for w in words]
+    if not parts:
+        start = _fresh()
+        return NFA({start}, set(), {}, start, set())
+    return union(*parts)
+
+
+def prefix_closure(dfa: DFA) -> DFA:
+    """The prefix closure: make every useful state accepting."""
+    trimmed = dfa.trim()
+    return DFA(
+        set(trimmed.states),
+        set(trimmed.alphabet),
+        dict(trimmed.transitions),
+        trimmed.start,
+        set(trimmed.reachable_states() & trimmed.coaccessible_states())
+        or {trimmed.start},
+    )

@@ -1,0 +1,428 @@
+"""The Theorem 4.2 construction: compiling an NTM into a Spocus transducer.
+
+Given a nondeterministic Turing machine M generating a language L on
+empty input, the proof of Theorem 4.2 builds a propositional-output
+Spocus transducer T whose *error-free* runs output exactly the prefix
+closure of L.  The input sequence encodes a computation of M in three
+stages, with error rules policing every deviation:
+
+* **Stage 1** builds, one cell per step, a time-stamped encoding of the
+  initial configuration in the input relation ``tape`` (cumulated into
+  ``past-tape``), simultaneously laying down the ordered index pool that
+  later serves as configuration time stamps.
+* **Stage 2** inputs one complete successor configuration per step; the
+  error rules check that each is obtained from the most recent one by
+  the legal move named in the ``move`` relation.
+* **Stage 3** outputs the word on the halted tape one letter per step,
+  driven by the ``cell`` relation walking the index chain.
+
+The construction follows the proof rule-for-rule, with the control
+clauses the paper leaves "omitted" spelled out (stage gating, shape and
+cardinality checks, and the left-move frame rules, including the
+last-cell case which uses ``past-oldindex`` to detect the tape edge).
+
+Relations: ``stage/1``, ``tape/5`` (stamp, index, next-index, content,
+mark), ``index/1``, ``oldindex/1``, ``move/1``, ``cell/1``; outputs
+``error/0`` and one proposition ``p_<z>`` per non-blank tape symbol.
+The mark of a cell is ``m0`` for "head not here" and the control state
+name for "head here in this state", as in the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.automata.turing import BLANK, LEFT, NTM, RIGHT, STAY, TMConfig
+from repro.core.spocus import SpocusTransducer
+from repro.datalog.parser import parse_program
+from repro.relalg.schema import DatabaseSchema, RelationSchema
+
+NO_HEAD = "m0"  # the mark for "head not on this cell" (the proof's 0)
+
+
+@dataclass
+class CompiledTM:
+    """The compiled transducer plus the metadata the driver needs."""
+
+    transducer: SpocusTransducer
+    ntm: NTM
+    contents: tuple[str, ...]  # tape alphabet (including blank)
+    marks: tuple[str, ...]  # NO_HEAD plus all machine states
+
+    def output_proposition(self, symbol: str) -> str:
+        return f"p_{symbol}"
+
+
+def _not_tape_all_contents(
+    stamp: str, idx1: str, idx2: str, contents, marks
+) -> str:
+    """``⋀_{z,v} NOT tape(stamp, idx1, idx2, z, v)`` -- "no such row"."""
+    parts = [
+        f"NOT tape({stamp}, {idx1}, {idx2}, {z}, {v})"
+        for z in contents
+        for v in marks
+    ]
+    return ", ".join(parts)
+
+
+def _not_past_tape_all_contents(
+    stamp: str, idx1: str, idx2: str, contents, marks
+) -> str:
+    parts = [
+        f"NOT past-tape({stamp}, {idx1}, {idx2}, {z}, {v})"
+        for z in contents
+        for v in marks
+    ]
+    return ", ".join(parts)
+
+
+def compile_tm(ntm: NTM) -> CompiledTM:
+    """Compile ``ntm`` into the Theorem 4.2 Spocus transducer."""
+    contents = tuple(sorted(ntm.alphabet))
+    marks = (NO_HEAD,) + tuple(sorted(ntm.states))
+    instructions = ntm.numbered_instructions()
+    q0 = ntm.start_state
+    halt = ntm.halt_state
+
+    rules: list[str] = []
+    add = rules.append
+
+    # φ_next(A, B): A is the maximum configuration stamp so far and B is
+    # its successor in the index chain (not yet used as a stamp).  Used
+    # inline as a body fragment.
+    def phi_next(a: str = "A", b: str = "B") -> str:
+        return (
+            f"past-tape({a}, X8, Y8, Z8, V8), "
+            f"past-tape(A9, {a}, {b}, Z9, V9), "
+            + _not_past_tape_all_contents(b, "0", "1", contents, marks)
+        )
+
+    # ---- global stage control -------------------------------------------------
+    add("error :- stage(X), stage(Y), X <> Y;")
+    add("error :- NOT stage(1), NOT stage(2), NOT stage(3);")
+    add("error :- stage(2), NOT past-stage(1);")
+    add("error :- stage(3), NOT past-stage(2);")
+    add("error :- stage(1), past-stage(2);")
+    add("error :- stage(2), past-stage(3);")
+    # inputs irrelevant to a stage must be empty
+    add("error :- stage(1), move(X);")
+    add("error :- stage(1), cell(X);")
+    add("error :- stage(2), index(X);")
+    add("error :- stage(2), oldindex(X);")
+    add("error :- stage(2), cell(X);")
+    add("error :- stage(3), tape(A, X, Y, Z, V);")
+    add("error :- stage(3), move(X);")
+    add("error :- stage(3), index(X);")
+    add("error :- stage(3), oldindex(X);")
+
+    # ---- stage 1: building the initial configuration --------------------------
+    # First step: exactly tape(0,0,1,b,q0), index(0), index(1), oldindex(0).
+    first = "stage(1), NOT past-stage(1)"
+    add(f"error :- {first}, NOT tape(0, 0, 1, {BLANK}, {q0});")
+    add(f"error :- {first}, NOT index(0);")
+    add(f"error :- {first}, NOT index(1);")
+    add(f"error :- {first}, NOT oldindex(0);")
+    add(f"error :- {first}, index(X), X <> 0, X <> 1;")
+    add(f"error :- {first}, oldindex(X), X <> 0;")
+    for column, bad in (("X", "0"), ("Y", "1")):
+        add(
+            f"error :- {first}, tape(A, X, Y, Z, V), {column} <> {bad};"
+        )
+    add(f"error :- {first}, tape(A, X, Y, Z, V), A <> 0;")
+    add(f"error :- {first}, tape(A, X, Y, Z, V), Z <> {BLANK};")
+    add(f"error :- {first}, tape(A, X, Y, Z, V), V <> {q0};")
+
+    # Continuation steps: one new blank cell per step.
+    cont = "stage(1), past-stage(1)"
+    add(f"error :- {cont}, tape(A, X, Y, Z, V), A <> 0;")
+    add(f"error :- {cont}, tape(A, X, Y, Z, V), Z <> {BLANK};")
+    add(f"error :- {cont}, tape(A, X, Y, Z, V), V <> {NO_HEAD};")
+    # at most one tuple per relation per step
+    for col_a, col_b in (("X", "X2"), ("Y", "Y2")):
+        add(
+            f"error :- stage(1), tape(A, X, Y, Z, V), "
+            f"tape(A2, X2, Y2, Z2, V2), {col_a} <> {col_b};"
+        )
+    add(f"error :- {cont}, index(X), index(Y), X <> Y;")
+    add("error :- stage(1), oldindex(X), oldindex(Y), X <> Y;")
+    # rules (1)-(10) of the stage-1 construction
+    row = f"tape(0, A, B, {BLANK}, {NO_HEAD})"
+    add(f"error :- {cont}, {row}, NOT past-index(A);")
+    add(f"error :- {cont}, {row}, past-oldindex(A);")
+    add(f"error :- {cont}, {row}, past-index(B);")
+    add(f"error :- {cont}, {row}, NOT oldindex(A);")
+    add(f"error :- {cont}, {row}, NOT index(B);")
+    add(
+        f"error :- {cont}, oldindex(A), index(B), "
+        f"NOT tape(0, A, B, {BLANK}, {NO_HEAD});"
+    )
+    add(
+        f"error :- {cont}, index(B), past-index(A), NOT past-oldindex(A), "
+        f"NOT tape(0, A, B, {BLANK}, {NO_HEAD});"
+    )
+    add(
+        f"error :- {cont}, index(B), past-index(A), NOT past-oldindex(A), "
+        f"NOT oldindex(A);"
+    )
+    add(f"error :- {cont}, oldindex(A), NOT past-index(A);")
+    add(f"error :- {cont}, oldindex(A), past-oldindex(A);")
+
+    # ---- stage 2: simulating moves ---------------------------------------------
+    stage2 = "stage(2)"
+    # (1) a unique stamp per input configuration
+    add(
+        f"error :- {stage2}, tape(A, X, Y, Z, V), "
+        f"tape(A2, X2, Y2, Z2, V2), A <> A2;"
+    )
+    # unique content per index pair within the input configuration
+    add(
+        f"error :- {stage2}, tape(A, X, Y, Z, V), tape(A, X, Y, Z2, V2), "
+        f"Z <> Z2;"
+    )
+    add(
+        f"error :- {stage2}, tape(A, X, Y, Z, V), tape(A, X, Y, Z2, V2), "
+        f"V <> V2;"
+    )
+    # stamps come from the index pool and are fresh
+    add(f"error :- {stage2}, tape(A, X, Y, Z, V), NOT past-index(A);")
+    add(
+        f"error :- {stage2}, tape(A, X, Y, Z, V), "
+        f"past-tape(A, X2, Y2, Z2, V2);"
+    )
+    # (2')/(3') index pairs of the input = index pairs of the chain
+    add(
+        f"error :- {stage2}, tape(A, X, Y, Z, V), "
+        + _not_past_tape_all_contents("0", "X", "Y", contents, marks)
+        + ";"
+    )
+    add(
+        f"error :- {stage2}, tape(A, X2, Y2, Z2, V2), "
+        f"past-tape(0, X, Y, Z, V), "
+        + _not_tape_all_contents("A", "X", "Y", contents, marks)
+        + ";"
+    )
+    # (4) the new configuration must carry the successor stamp
+    add(
+        f"error :- {stage2}, {phi_next('A', 'B')}, "
+        + _not_tape_all_contents("B", "0", "1", contents, marks)
+        + ";"
+    )
+    # the input stamp must BE that successor
+    add(
+        f"error :- {stage2}, {phi_next('A', 'B')}, tape(A2, X, Y, Z, V), "
+        f"A2 <> B;"
+    )
+    # (7)/(8) exactly one move per stage-2 step
+    add(f"error :- {stage2}, move(X), move(Y), X <> Y;")
+    not_moves = ", ".join(f"NOT move({num})" for num, *_ in instructions)
+    if not_moves:
+        add(f"error :- {stage2}, {not_moves};")
+
+    # Per-instruction legality rules.  Applicability of the chosen move
+    # (right head mark and read symbol in the latest configuration) is
+    # enforced by the head-cell rules below: when the pattern does not
+    # match, rule (4) still demands a successor configuration, and the
+    # frame rules force it to be an exact copy with no head mark, after
+    # which the simulation is stuck and produces no output.
+    for number, state, read, new_state, written, direction in instructions:
+        gate = f"{stage2}, move({number}), {phi_next('A', 'B')}"
+        head = f"past-tape(A, X1, X2, {read}, {state})"
+        if direction == RIGHT:
+            add(
+                f"error :- {gate}, {head}, "
+                f"NOT tape(B, X1, X2, {written}, {NO_HEAD});"
+            )
+            add(
+                f"error :- {gate}, {head}, past-tape(A, X2, X3, Z, {NO_HEAD}), "
+                f"NOT tape(B, X2, X3, Z, {new_state});"
+            )
+            # frame: unmarked cell with unmarked predecessor stays
+            add(
+                f"error :- {gate}, {head}, "
+                f"past-tape(A, X0, Y0, Z0, {NO_HEAD}), "
+                f"past-tape(A, Y0, Y1, Z1, {NO_HEAD}), Y0 <> X2, "
+                f"NOT tape(B, Y0, Y1, Z1, {NO_HEAD});"
+            )
+            add(
+                f"error :- {gate}, {head}, past-tape(A, 0, 1, Z, {NO_HEAD}), "
+                f"NOT tape(B, 0, 1, Z, {NO_HEAD});"
+            )
+        elif direction == STAY:
+            add(
+                f"error :- {gate}, {head}, "
+                f"NOT tape(B, X1, X2, {written}, {new_state});"
+            )
+            add(
+                f"error :- {gate}, {head}, past-tape(A, X2, X3, Z, {NO_HEAD}), "
+                f"NOT tape(B, X2, X3, Z, {NO_HEAD});"
+            )
+            add(
+                f"error :- {gate}, {head}, "
+                f"past-tape(A, X0, Y0, Z0, {NO_HEAD}), "
+                f"past-tape(A, Y0, Y1, Z1, {NO_HEAD}), "
+                f"NOT tape(B, Y0, Y1, Z1, {NO_HEAD});"
+            )
+            add(
+                f"error :- {gate}, {head}, X1 <> 0, "
+                f"past-tape(A, 0, 1, Z, {NO_HEAD}), "
+                f"NOT tape(B, 0, 1, Z, {NO_HEAD});"
+            )
+        elif direction == LEFT:
+            # head cell: content updated, mark cleared
+            add(
+                f"error :- {gate}, {head}, "
+                f"NOT tape(B, X1, X2, {written}, {NO_HEAD});"
+            )
+            # predecessor cell: keeps content, receives the head mark
+            add(
+                f"error :- {gate}, {head}, past-tape(A, X0, X1, Z, {NO_HEAD}), "
+                f"NOT tape(B, X0, X1, Z, {new_state});"
+            )
+            # successor of the head stays
+            add(
+                f"error :- {gate}, {head}, past-tape(A, X2, X3, Z, {NO_HEAD}), "
+                f"NOT tape(B, X2, X3, Z, {NO_HEAD});"
+            )
+            # frame for cells with unmarked predecessor AND unmarked
+            # successor (the predecessor-of-head is excluded by the
+            # successor condition; the head itself is marked)
+            add(
+                f"error :- {gate}, {head}, "
+                f"past-tape(A, X0, Y0, Z0, {NO_HEAD}), "
+                f"past-tape(A, Y0, Y1, Z1, {NO_HEAD}), "
+                f"past-tape(A, Y1, Y2, Z2, {NO_HEAD}), "
+                f"NOT tape(B, Y0, Y1, Z1, {NO_HEAD});"
+            )
+            # frame for the last cell (no successor: its end index was
+            # never registered in oldindex)
+            add(
+                f"error :- {gate}, {head}, "
+                f"past-tape(A, X0, Y0, Z0, {NO_HEAD}), "
+                f"past-tape(A, Y0, Y1, Z1, {NO_HEAD}), "
+                f"NOT past-oldindex(Y1), Y0 <> X1, "
+                f"NOT tape(B, Y0, Y1, Z1, {NO_HEAD});"
+            )
+            # frame for cell 0 when the head is not at cell 1
+            add(
+                f"error :- {gate}, {head}, X1 <> 1, "
+                f"past-tape(A, 0, 1, Z, {NO_HEAD}), "
+                f"NOT tape(B, 0, 1, Z, {NO_HEAD});"
+            )
+
+    # ---- stage 3: reading out the word ------------------------------------------
+    stage3 = "stage(3)"
+    add("error :- cell(X), cell(Y), X <> Y;")
+    add(f"error :- {stage3}, NOT past-stage(3), NOT cell(0);")
+    add(f"error :- {stage3}, cell(X), past-cell(X);")
+    add(
+        f"error :- {stage3}, past-stage(3), past-cell(A), "
+        f"past-tape(A2, A, B, Z, V), NOT past-cell(B), NOT cell(B);"
+    )
+    # output rules: the letters of the halted tape, in chain order
+    for symbol in contents:
+        if symbol == BLANK:
+            continue
+        add(
+            f"p_{symbol} :- {stage3}, cell(0), "
+            f"past-tape(A, 0, 1, {symbol}, {halt});"
+        )
+        add(
+            f"p_{symbol} :- {stage3}, cell(X), X <> 0, "
+            f"past-tape(A, 0, 1, Y, {halt}), "
+            f"past-tape(A, X, X2, {symbol}, {NO_HEAD});"
+        )
+
+    program_text = "\n".join(r for r in rules if not r.startswith("#"))
+    inputs = DatabaseSchema(
+        [
+            RelationSchema("stage", 1),
+            RelationSchema("tape", 5),
+            RelationSchema("index", 1),
+            RelationSchema("oldindex", 1),
+            RelationSchema("move", 1),
+            RelationSchema("cell", 1),
+        ]
+    )
+    outputs = DatabaseSchema(
+        [RelationSchema("error", 0)]
+        + [
+            RelationSchema(f"p_{symbol}", 0)
+            for symbol in contents
+            if symbol != BLANK
+        ]
+    )
+    transducer = SpocusTransducer(
+        inputs,
+        outputs,
+        DatabaseSchema(()),
+        parse_program(program_text),
+        log=tuple(
+            ["error"] + [f"p_{s}" for s in contents if s != BLANK]
+        ),
+    )
+    return CompiledTM(transducer, ntm, contents, marks)
+
+
+def _config_rows(
+    config: TMConfig, stamp: int
+) -> set[tuple]:
+    """The tape rows encoding ``config`` with time stamp ``stamp``."""
+    rows = set()
+    for position, symbol in enumerate(config.tape):
+        mark = config.state if position == config.head else NO_HEAD
+        rows.add((stamp, position, position + 1, symbol, mark))
+    return rows
+
+
+def simulation_inputs(
+    compiled: CompiledTM,
+    computation: Sequence[tuple[int | None, TMConfig]],
+    output_length: int | None = None,
+) -> list[dict[str, set[tuple]]]:
+    """The well-formed input sequence driving a computation through T.
+
+    ``computation`` is as produced by :meth:`NTM.computations` (first
+    entry instruction None).  ``output_length`` truncates stage 3 to a
+    prefix of the generated word (None = the whole word).
+    """
+    _none, initial = computation[0]
+    tape_length = len(initial.tape)
+    word = computation[-1][1].word()
+    if output_length is None:
+        output_length = len(word)
+
+    steps: list[dict[str, set[tuple]]] = []
+    # Stage 1: first cell...
+    steps.append(
+        {
+            "stage": {(1,)},
+            "tape": {(0, 0, 1, BLANK, initial.state)},
+            "index": {(0,), (1,)},
+            "oldindex": {(0,)},
+        }
+    )
+    # ...then one blank cell per step.
+    for j in range(1, tape_length):
+        steps.append(
+            {
+                "stage": {(1,)},
+                "tape": {(0, j, j + 1, BLANK, NO_HEAD)},
+                "index": {(j + 1,)},
+                "oldindex": {(j,)},
+            }
+        )
+    # Stage 2: one full configuration per move.
+    for stamp, (instruction, config) in enumerate(computation[1:], start=1):
+        assert instruction is not None
+        steps.append(
+            {
+                "stage": {(2,)},
+                "move": {(instruction,)},
+                "tape": _config_rows(config, stamp),
+            }
+        )
+    # Stage 3: walk the cells of the word prefix.
+    for position in range(output_length):
+        steps.append({"stage": {(3,)}, "cell": {(position,)}})
+    return steps

@@ -1,0 +1,191 @@
+"""Nondeterministic Turing machines (word generators).
+
+Theorem 4.2 uses NTMs that *generate* languages: started on a blank
+right-infinite tape, a machine nondeterministically writes a word and
+halts with the word beginning at the leftmost cell and the head parked
+there.  :class:`NTM` implements exactly this convention, with bounded
+exhaustive exploration for tests (the machines in the experiments
+generate finite/regular languages, so bounds are easy to pick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+BLANK = "b"
+LEFT = "L"
+RIGHT = "R"
+STAY = "S"
+
+
+@dataclass(frozen=True)
+class TMConfig:
+    """A configuration: control state, tape contents, head position.
+
+    The tape is a fixed-length tuple (the compiled simulation also uses
+    a fixed tape, chosen at stage 1); blanks pad the right end.
+    """
+
+    state: str
+    tape: tuple[str, ...]
+    head: int
+
+    def word(self) -> tuple[str, ...]:
+        """The generated word: cells up to the first blank."""
+        out = []
+        for symbol in self.tape:
+            if symbol == BLANK:
+                break
+            out.append(symbol)
+        return tuple(out)
+
+
+@dataclass
+class NTM:
+    """A nondeterministic TM over a right-infinite (here: bounded) tape.
+
+    ``transitions`` maps (state, read symbol) to a list of
+    (new state, written symbol, direction) triples; directions are
+    ``"L"``, ``"R"``, ``"S"``.  ``halt_state`` has no outgoing
+    transitions.  The instruction list is also exposed *numbered* (for
+    the Theorem 4.2 compiler, whose ``move`` relation carries the
+    instruction number).
+    """
+
+    states: set[str]
+    alphabet: set[str]  # tape alphabet, must contain BLANK
+    transitions: dict[tuple[str, str], list[tuple[str, str, str]]]
+    start_state: str
+    halt_state: str
+
+    def __post_init__(self) -> None:
+        self.alphabet = set(self.alphabet) | {BLANK}
+        for (state, symbol), options in self.transitions.items():
+            if state == self.halt_state:
+                raise ValueError("halt state must have no transitions")
+            for (_new, written, direction) in options:
+                if direction not in (LEFT, RIGHT, STAY):
+                    raise ValueError(f"bad direction {direction!r}")
+                if written not in self.alphabet or symbol not in self.alphabet:
+                    raise ValueError("transition uses unknown symbol")
+
+    def numbered_instructions(
+        self,
+    ) -> list[tuple[int, str, str, str, str, str]]:
+        """(number, state, read, new state, written, direction), 1-based."""
+        numbered = []
+        counter = 1
+        for (state, read), options in sorted(self.transitions.items()):
+            for (new_state, written, direction) in options:
+                numbered.append((counter, state, read, new_state, written, direction))
+                counter += 1
+        return numbered
+
+    def initial_config(self, tape_length: int) -> TMConfig:
+        return TMConfig(self.start_state, (BLANK,) * tape_length, 0)
+
+    def successors(self, config: TMConfig) -> Iterator[tuple[int, TMConfig]]:
+        """Yield (instruction number, next configuration) pairs."""
+        lookup = {
+            (state, read): number
+            for number, state, read, _n, _w, _d in self.numbered_instructions()
+        }
+        del lookup  # numbering must enumerate duplicates; recompute below
+        for (number, state, read, new_state, written, direction) in (
+            self.numbered_instructions()
+        ):
+            if state != config.state:
+                continue
+            if config.tape[config.head] != read:
+                continue
+            tape = list(config.tape)
+            tape[config.head] = written
+            if direction == RIGHT:
+                head = config.head + 1
+            elif direction == LEFT:
+                head = config.head - 1
+            else:
+                head = config.head
+            if not 0 <= head < len(tape):
+                continue  # fell off the available tape
+            yield number, TMConfig(new_state, tuple(tape), head)
+
+    def computations(
+        self, tape_length: int, max_steps: int
+    ) -> Iterator[list[tuple[int | None, TMConfig]]]:
+        """Yield halting computations as [(instr, config), ...] lists.
+
+        The first entry carries instruction ``None`` (the initial
+        configuration); each later entry records the instruction that
+        produced it.  A computation qualifies when the machine reaches
+        the halt state with the head on cell 0.
+        """
+
+        def explore(
+            trace: list[tuple[int | None, TMConfig]]
+        ) -> Iterator[list[tuple[int | None, TMConfig]]]:
+            _instr, config = trace[-1]
+            if config.state == self.halt_state:
+                if config.head == 0:
+                    yield list(trace)
+                return
+            if len(trace) > max_steps:
+                return
+            for number, nxt in self.successors(config):
+                trace.append((number, nxt))
+                yield from explore(trace)
+                trace.pop()
+
+        yield from explore([(None, self.initial_config(tape_length))])
+
+    def generated_words(
+        self, tape_length: int, max_steps: int
+    ) -> set[tuple[str, ...]]:
+        """All words generated within the given bounds."""
+        return {
+            trace[-1][1].word()
+            for trace in self.computations(tape_length, max_steps)
+        }
+
+
+def word_writer_ntm(words: Sequence[Sequence[str]]) -> NTM:
+    """An NTM generating exactly ``words`` (a finite language).
+
+    The machine nondeterministically commits to one word, writes it left
+    to right, then walks back to cell 0 and halts.  This exercises
+    right, left, and stay moves in the Theorem 4.2 simulation.
+    """
+    words = [tuple(w) for w in words]
+    alphabet = {symbol for word in words for symbol in word} | {BLANK}
+    states: set[str] = {"qstart", "qback", "qhalt"}
+    transitions: dict[tuple[str, str], list[tuple[str, str, str]]] = {}
+
+    def add(state: str, read: str, new: str, write: str, direction: str) -> None:
+        states.add(state)
+        states.add(new)
+        transitions.setdefault((state, read), []).append((new, write, direction))
+
+    for index, word in enumerate(words):
+        if not word:
+            add("qstart", BLANK, "qhalt", BLANK, STAY)
+            continue
+        previous = "qstart"
+        for position, symbol in enumerate(word):
+            if position == len(word) - 1:
+                add(previous, BLANK, "qback", symbol, LEFT if position else STAY)
+            else:
+                nxt = f"q{index}_{position + 1}"
+                add(previous, BLANK, nxt, symbol, RIGHT)
+                previous = nxt
+    # Walk back to the left end: on any non-blank symbol, keep moving
+    # left; halting happens when a left move from cell 1 lands on cell 0
+    # -- detected by looking at the symbol under the head after moving.
+    for symbol in sorted(alphabet - {BLANK}):
+        add("qback", symbol, "qback", symbol, LEFT)
+    # The walk-left loop overshoots: add halting via a marker-free trick
+    # is impossible without sensing the edge, so instead the machine
+    # halts by *stay* transitions nondeterministically guessed at cell 0.
+    for symbol in sorted(alphabet - {BLANK}):
+        add("qback", symbol, "qhalt", symbol, STAY)
+    return NTM(states, alphabet, transitions, "qstart", "qhalt")

@@ -1,0 +1,62 @@
+"""Synthetic product catalogs.
+
+The paper's database relations (``price``, ``available``) represent a
+product catalog.  :class:`CatalogGenerator` produces deterministic,
+seeded catalogs of arbitrary size for the scaling benchmarks -- the
+substitute for the "possibly very large, external" databases the paper
+mentions (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """A generated catalog: products, prices, availability."""
+
+    products: tuple[str, ...]
+    prices: dict[str, int]
+    available: frozenset[str]
+
+    def as_database(self) -> dict[str, set[tuple]]:
+        """The database instance mapping expected by the transducers."""
+        return {
+            "price": {(p, self.prices[p]) for p in self.products},
+            "available": {(p,) for p in self.available},
+        }
+
+    def priced(self, product: str) -> int:
+        return self.prices[product]
+
+
+class CatalogGenerator:
+    """Seeded generator of :class:`Catalog` objects.
+
+    Prices are integers in cents, drawn from ``price_range``;
+    ``availability`` is the fraction of products in stock.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        price_range: tuple[int, int] = (100, 10_000),
+        availability: float = 0.9,
+    ) -> None:
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+        self._seed = seed
+        self._price_range = price_range
+        self._availability = availability
+
+    def generate(self, product_count: int) -> Catalog:
+        rng = random.Random(f"catalog:{self._seed}:{product_count}")
+        products = tuple(f"product{i}" for i in range(product_count))
+        low, high = self._price_range
+        prices = {p: rng.randint(low, high) for p in products}
+        available = frozenset(
+            p for p in products if rng.random() < self._availability
+        )
+        return Catalog(products, prices, available)

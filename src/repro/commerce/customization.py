@@ -1,0 +1,113 @@
+"""Customization analysis (Section 3.3).
+
+The paper proposes, besides the semantic containment test of
+Theorem 3.5, a *syntactic* sufficient condition for a customization to
+preserve valid logs: new inputs, outputs, and rules may be added "as
+long as the log is syntactically unaffected by the new inputs (i.e.,
+there is no path from new inputs to relations in the log in the
+dependency graph of the program)".  ``friendly`` is obtained from
+``short`` this way.  This module implements that check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.spocus import SpocusTransducer, past
+from repro.datalog.stratify import DependencyGraph
+
+
+def _program_graph(transducer: SpocusTransducer) -> DependencyGraph:
+    """Dependency graph of the output program, with the implicit
+    ``R -> past-R`` state edges added (an input influences everything its
+    history relation influences)."""
+    graph = DependencyGraph.of(transducer.output_program)
+    for rel in transducer.schema.inputs:
+        graph.predicates.add(rel.name)
+        graph.positive_edges.setdefault(rel.name, set()).add(past(rel.name))
+        graph.predicates.add(past(rel.name))
+    return graph
+
+
+def new_relations_reaching_log(
+    base: SpocusTransducer, custom: SpocusTransducer
+) -> set[str]:
+    """The new input relations from which a log relation is reachable."""
+    new_inputs = set(custom.schema.inputs.names) - set(base.schema.inputs.names)
+    if not new_inputs:
+        return set()
+    graph = _program_graph(custom)
+    log = set(custom.schema.log)
+    return {
+        name
+        for name in new_inputs
+        if graph.reachable_from([name]) & log
+    }
+
+
+@dataclass
+class CustomizationReport:
+    """Outcome of the syntactic customization check.
+
+    ``safe`` means the sufficient condition holds; when it fails,
+    ``offending_inputs`` lists new inputs with a dependency path into
+    the log and ``problems`` collects human-readable explanations.
+    """
+
+    safe: bool
+    offending_inputs: set[str] = field(default_factory=set)
+    problems: list[str] = field(default_factory=list)
+
+
+def is_syntactically_safe_customization(
+    base: SpocusTransducer, custom: SpocusTransducer
+) -> CustomizationReport:
+    """Check the paper's syntactic sufficient condition.
+
+    Requirements checked:
+
+    1. same log declaration;
+    2. the custom inputs/outputs extend the base ones;
+    3. every base output rule is retained verbatim;
+    4. rules for base output relations are unchanged (no new rule may
+       define a logged or base output relation);
+    5. no dependency path from a new input relation to a log relation.
+
+    When the report says ``safe``, every valid log of ``custom`` is a
+    valid log of ``base`` (containment holds by construction); the
+    semantic check of Theorem 3.5 is then unnecessary.
+    """
+    problems: list[str] = []
+    if tuple(base.schema.log) != tuple(custom.schema.log):
+        problems.append(
+            f"log declarations differ: {base.schema.log} vs {custom.schema.log}"
+        )
+    base_inputs = set(base.schema.inputs.names)
+    if not base_inputs <= set(custom.schema.inputs.names):
+        problems.append("custom transducer drops base input relations")
+    base_outputs = set(base.schema.outputs.names)
+    if not base_outputs <= set(custom.schema.outputs.names):
+        problems.append("custom transducer drops base output relations")
+
+    base_rules = set(base.output_program.rules)
+    custom_rules = set(custom.output_program.rules)
+    missing = base_rules - custom_rules
+    if missing:
+        problems.append(
+            f"base rules missing from customization: "
+            f"{'; '.join(str(r) for r in sorted(missing, key=str))}"
+        )
+    for rule in custom_rules - base_rules:
+        if rule.head.predicate in base_outputs:
+            problems.append(
+                f"new rule redefines base output relation: {rule}"
+            )
+
+    offending = new_relations_reaching_log(base, custom)
+    for name in sorted(offending):
+        problems.append(
+            f"new input {name!r} has a dependency path into the log"
+        )
+    return CustomizationReport(
+        safe=not problems, offending_inputs=offending, problems=problems
+    )

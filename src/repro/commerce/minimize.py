@@ -1,0 +1,148 @@
+"""Log minimization (Section 2.1, "Minimizing the log").
+
+The paper observes that in ``short`` the relation ``deliver`` can be
+removed from the log "without losing any information": its occurrences
+are reconstructible from ``order``, ``price`` and ``pay``.  We formalize
+removability as *bounded determinacy*: a log relation ``r`` is removable
+(up to run length ``n`` over a given database) when any two input
+sequences of length ≤ n that agree on the log without ``r`` also agree
+on ``r``'s log content.  The check enumerates input sequences over the
+database's active domain exhaustively, so it is exact within the bound
+-- the natural executable counterpart of the paper's informal claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.spocus import SpocusTransducer
+from repro.relalg.instance import Instance
+
+
+def _candidate_tuples(arity: int, domain: Sequence) -> list[tuple]:
+    return [tuple(v) for v in itertools.product(domain, repeat=arity)]
+
+
+def _candidate_inputs(
+    transducer: SpocusTransducer,
+    domain: Sequence,
+    max_facts_per_step: int,
+) -> Iterator[dict[str, set[tuple]]]:
+    """All input instances with at most ``max_facts_per_step`` facts."""
+    pool: list[tuple[str, tuple]] = []
+    for rel in transducer.schema.inputs:
+        for row in _candidate_tuples(rel.arity, domain):
+            pool.append((rel.name, row))
+    for size in range(max_facts_per_step + 1):
+        for facts in itertools.combinations(pool, size):
+            instance: dict[str, set[tuple]] = {}
+            for name, row in facts:
+                instance.setdefault(name, set()).add(row)
+            yield instance
+
+
+def enumerate_logs(
+    transducer: SpocusTransducer,
+    database: dict[str, set[tuple]] | Instance,
+    length: int,
+    max_facts_per_step: int = 1,
+    domain: Sequence | None = None,
+) -> Iterator[tuple[tuple[Instance, ...], tuple[Instance, ...]]]:
+    """Yield (input sequence, log sequence) for all bounded runs."""
+    db = transducer.coerce_database(database)
+    if domain is None:
+        domain = sorted(db.active_domain(), key=repr)
+    steps = list(_candidate_inputs(transducer, domain, max_facts_per_step))
+    coerced = [transducer.coerce_input(step) for step in steps]
+    for sequence in itertools.product(coerced, repeat=length):
+        run = transducer.run(db, sequence)
+        yield sequence, run.logs
+
+
+def removable_log_relations(
+    transducer: SpocusTransducer,
+    database: dict[str, set[tuple]] | Instance,
+    length: int = 2,
+    max_facts_per_step: int = 1,
+    domain: Sequence | None = None,
+) -> set[str]:
+    """Log relations whose content is determined by the rest of the log.
+
+    Exact within the stated bounds (run length, facts per step, domain).
+    A relation reported removable may in principle be needed on longer
+    runs; the default bounds match the two-step sufficiency arguments
+    the paper uses for its decision procedures (Theorem 3.2).
+    """
+    log = list(transducer.schema.log)
+    removable = set(log)
+    # Group log sequences by their projection away from each candidate.
+    runs = list(
+        enumerate_logs(
+            transducer, database, length, max_facts_per_step, domain
+        )
+    )
+    for candidate in log:
+        rest = [name for name in log if name != candidate]
+        seen: dict[tuple, tuple] = {}
+        for _inputs, logs in runs:
+            key = tuple(
+                tuple(sorted(entry[name])) for entry in logs for name in rest
+            )
+            value = tuple(tuple(sorted(entry[candidate])) for entry in logs)
+            if key in seen and seen[key] != value:
+                removable.discard(candidate)
+                break
+            seen[key] = value
+    return removable
+
+
+def minimal_logs(
+    transducer: SpocusTransducer,
+    database: dict[str, set[tuple]] | Instance,
+    length: int = 2,
+    max_facts_per_step: int = 1,
+    domain: Sequence | None = None,
+) -> list[tuple[str, ...]]:
+    """Inclusion-minimal logs preserving bounded determinacy.
+
+    Searches subsets of the declared log from small to large; a subset
+    ``L'`` qualifies when every removed relation's content is determined
+    by ``L'`` alone on all bounded runs.  Returns all minimal subsets
+    (there may be several incomparable ones).
+    """
+    log = tuple(transducer.schema.log)
+    runs = list(
+        enumerate_logs(
+            transducer, database, length, max_facts_per_step, domain
+        )
+    )
+
+    def determined(kept: Sequence[str]) -> bool:
+        removed = [name for name in log if name not in kept]
+        if not removed:
+            return True
+        seen: dict[tuple, tuple] = {}
+        for _inputs, logs in runs:
+            key = tuple(
+                tuple(sorted(entry[name])) for entry in logs for name in kept
+            )
+            value = tuple(
+                tuple(sorted(entry[name])) for entry in logs for name in removed
+            )
+            if key in seen and seen[key] != value:
+                return False
+            seen[key] = value
+        return True
+
+    minimal: list[tuple[str, ...]] = []
+    for size in range(len(log) + 1):
+        for kept in itertools.combinations(log, size):
+            if any(set(m) <= set(kept) for m in minimal):
+                continue
+            if determined(kept):
+                minimal.append(kept)
+        if minimal and size >= max(len(m) for m in minimal):
+            # All remaining candidates are supersets of found minima.
+            break
+    return minimal

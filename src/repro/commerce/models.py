@@ -1,0 +1,152 @@
+"""The paper's example business models.
+
+``short`` and ``friendly`` are transcribed verbatim from Section 2.1 of
+the paper (transducers SHORT and FRIENDLY).  The run reproduced in
+Figures 1 and 2 uses the products Time, Newsweek and Le Monde with
+prices $55, $45 and $3.50 (the published scan garbles the dollar signs
+to '8'; we use integers 55, 45 and 350 cents).
+
+Two further models support the experiments:
+
+* :func:`build_buggy_store` -- a deliberately broken variant whose
+  ``deliver`` rule forgets the payment check; used as the negative
+  control in the temporal-verification experiments (E7);
+* :func:`build_guarded_store` -- ``short`` with error rules enforcing
+  the Tsdi input disciplines of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.parser import parse_transducer
+from repro.core.spocus import SpocusTransducer
+
+SHORT_SOURCE = """
+transducer short
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  state: past-order, past-pay;
+  output: sendbill/2, deliver/1;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+"""
+
+FRIENDLY_SOURCE = """
+transducer friendly
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2, pending-bills/0;
+  state: past-order, past-pay;
+  output: sendbill/2, deliver/1, unavailable/1,
+          rejectpay/1, alreadypaid/1, rebill/2;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+  unavailable(X) :- order(X), NOT available(X);
+  rejectpay(X) :- pay(X,Y), NOT past-order(X);
+  rejectpay(X) :- pay(X,Y), past-order(X), NOT price(X,Y);
+  alreadypaid(X) :- pay(X,Y), past-pay(X,Y);
+  rebill(X,Y) :- pending-bills, past-order(X), price(X,Y),
+                 NOT past-pay(X,Y);
+"""
+
+BUGGY_SOURCE = """
+transducer buggy
+schema
+  database: price/2, available/1;
+  input: order/1, pay/2;
+  output: sendbill/2, deliver/1;
+  log: sendbill, pay, deliver;
+state rules
+  past-order(X) +:- order(X);
+  past-pay(X,Y) +:- pay(X,Y);
+output rules
+  sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+  deliver(X) :- past-order(X), price(X,Y), NOT past-pay(X,Y);
+"""
+
+# Products and prices of the Figure 1/2 runs (prices in cents).
+TIME = "time"
+NEWSWEEK = "newsweek"
+LE_MONDE = "le_monde"
+PRICES = {TIME: 55, NEWSWEEK: 45, LE_MONDE: 350}
+
+
+def build_short() -> SpocusTransducer:
+    """The SHORT transducer of Section 2.1 (verbatim rules)."""
+    transducer = parse_transducer(SHORT_SOURCE)
+    assert isinstance(transducer, SpocusTransducer)
+    return transducer
+
+
+def build_friendly() -> SpocusTransducer:
+    """The FRIENDLY transducer of Section 2.1 (verbatim rules)."""
+    transducer = parse_transducer(FRIENDLY_SOURCE)
+    assert isinstance(transducer, SpocusTransducer)
+    return transducer
+
+
+def build_buggy_store() -> SpocusTransducer:
+    """``short`` with the payment check dropped from ``deliver``.
+
+    Negative control: violates "no delivery before payment", which the
+    temporal verifier must detect (experiment E7).
+    """
+    transducer = parse_transducer(BUGGY_SOURCE)
+    assert isinstance(transducer, SpocusTransducer)
+    return transducer
+
+
+def build_guarded_store() -> SpocusTransducer:
+    """``short`` extended with the Section 4.1 input disciplines.
+
+    The added ``error`` rules are exactly the compilation (Theorem 4.1)
+    of the three example Tsdi sentences: payments must match an order
+    and the catalog price, and cancellations must follow orders.
+    """
+    short = build_short()
+    return short.with_extra_rules(
+        """
+        error :- pay(X,Y), NOT price(X,Y);
+        error :- pay(X,Y), NOT past-order(X), NOT order(X);
+        error :- cancel(X), NOT past-order(X);
+        """,
+        extra_inputs={"cancel": 1},
+        extra_outputs={"error": 0},
+    )
+
+
+def default_database() -> dict[str, set[tuple]]:
+    """The catalog used by the Figure 1/2 runs."""
+    return {
+        "price": {(p, c) for p, c in PRICES.items()},
+        "available": {(TIME,), (NEWSWEEK,), (LE_MONDE,)},
+    }
+
+
+#: The input sequence of the Figure 1 run of ``short``.
+FIGURE1_INPUTS = [
+    {"order": {(TIME,)}},
+    {"pay": {(TIME, 55)}},
+    {"order": {(LE_MONDE,)}},
+    {"pay": {(LE_MONDE, 350)}},
+]
+
+#: The input sequence of the Figure 2 run of ``friendly``; exercises
+#: every warning relation: an unavailable product, a payment without an
+#: order, a double payment, and a pending-bills reminder.
+FIGURE2_INPUTS = [
+    {"order": {(TIME,), ("vogue",)}},
+    {"pay": {(TIME, 55), (NEWSWEEK, 40)}},
+    {"order": {(NEWSWEEK,)}, "pay": {(TIME, 55)}},
+    {"pending-bills": {()}},
+]

@@ -1,0 +1,109 @@
+"""The progress advisor (Section 2.1, "Goal reachability and progress").
+
+"A user interested in achieving some goal such as deliver(pc8000) may
+wish to be told what is the next action (input) that will make the
+system progress toward the goal."  :class:`ProgressAdvisor` answers
+exactly that: given a transducer, a database, the state reached so far,
+and a goal (a set of ground output facts), it searches bounded input
+continuations and returns the first input of a shortest sequence that
+reaches the goal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.spocus import SpocusTransducer
+from repro.relalg.instance import Instance
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """A recommended next input and the sequence that attains the goal.
+
+    ``next_input`` is the recommended immediate action; ``plan`` is the
+    full input sequence (including ``next_input``) whose final output
+    satisfies the goal; ``steps`` is its length.
+    """
+
+    next_input: dict[str, frozenset[tuple]]
+    plan: tuple[dict[str, frozenset[tuple]], ...]
+    steps: int
+
+
+class ProgressAdvisor:
+    """Bounded breadth-first search for goal-reaching continuations."""
+
+    def __init__(
+        self,
+        transducer: SpocusTransducer,
+        database: dict[str, set[tuple]] | Instance,
+        max_facts_per_step: int = 1,
+        extra_domain: Sequence = (),
+    ) -> None:
+        self._transducer = transducer
+        self._database = transducer.coerce_database(database)
+        domain = set(self._database.active_domain()) | set(extra_domain)
+        self._domain = sorted(domain, key=repr)
+        self._max_facts = max_facts_per_step
+
+    def _candidate_steps(self) -> list[dict[str, frozenset[tuple]]]:
+        pool: list[tuple[str, tuple]] = []
+        for rel in self._transducer.schema.inputs:
+            for row in itertools.product(self._domain, repeat=rel.arity):
+                pool.append((rel.name, tuple(row)))
+        steps: list[dict[str, frozenset[tuple]]] = []
+        for size in range(1, self._max_facts + 1):
+            for facts in itertools.combinations(pool, size):
+                step: dict[str, set[tuple]] = {}
+                for name, row in facts:
+                    step.setdefault(name, set()).add(row)
+                steps.append(
+                    {name: frozenset(rows) for name, rows in step.items()}
+                )
+        return steps
+
+    def _goal_satisfied(
+        self, output: Instance, goal: dict[str, set[tuple]]
+    ) -> bool:
+        return all(
+            set(rows) <= set(output[name]) for name, rows in goal.items()
+        )
+
+    def advise(
+        self,
+        goal: dict[str, set[tuple]],
+        history: Sequence[dict[str, set[tuple]]] = (),
+        max_depth: int = 3,
+    ) -> Suggestion | None:
+        """Find a shortest goal-reaching continuation after ``history``.
+
+        Returns None when the goal is unreachable within ``max_depth``
+        additional steps (with at most ``max_facts_per_step`` new facts
+        per step, over the database's active domain).
+        """
+        transducer = self._transducer
+        state = transducer.initial_state()
+        for step in history:
+            state, _output = transducer.step(self._database, state, step)
+        candidates = self._candidate_steps()
+
+        frontier: list[tuple[Instance, tuple]] = [(state, ())]
+        for depth in range(1, max_depth + 1):
+            next_frontier: list[tuple[Instance, tuple]] = []
+            seen: set[Instance] = set()
+            for current_state, path in frontier:
+                for step in candidates:
+                    next_state, output = transducer.step(
+                        self._database, current_state, step
+                    )
+                    if self._goal_satisfied(output, goal):
+                        plan = path + (step,)
+                        return Suggestion(plan[0], plan, depth)
+                    if next_state not in seen:
+                        seen.add(next_state)
+                        next_frontier.append((next_state, path + (step,)))
+            frontier = next_frontier
+        return None

@@ -1,0 +1,46 @@
+"""Relational transducers (the paper's primary contribution).
+
+A relational transducer (Section 2.2) maps a sequence of input relation
+instances to sequences of state, output, and log instances, relative to
+a fixed database.  This subpackage provides the general model
+(:class:`~repro.core.transducer.RelationalTransducer`), the restricted
+Spocus class (:class:`~repro.core.spocus.SpocusTransducer`), run and log
+machinery, the three acceptance mechanisms of Section 4, and a parser
+for the paper's concrete program syntax.
+"""
+
+from repro.core.schema import TransducerSchema
+from repro.core.run import Run, format_run_figure, log_of_step
+from repro.core.transducer import FunctionalTransducer, RelationalTransducer
+from repro.core.spocus import SpocusTransducer, past
+from repro.core.parser import parse_transducer
+from repro.core.acceptors import (
+    ACCEPT,
+    ERROR_FREE,
+    OK,
+    AcceptanceMode,
+    is_accepted,
+    is_error_free,
+    is_ok_run,
+    run_is_valid,
+)
+
+__all__ = [
+    "TransducerSchema",
+    "Run",
+    "log_of_step",
+    "format_run_figure",
+    "RelationalTransducer",
+    "FunctionalTransducer",
+    "SpocusTransducer",
+    "past",
+    "parse_transducer",
+    "AcceptanceMode",
+    "ERROR_FREE",
+    "OK",
+    "ACCEPT",
+    "is_error_free",
+    "is_ok_run",
+    "is_accepted",
+    "run_is_valid",
+]

@@ -1,0 +1,98 @@
+"""Run acceptance mechanisms (Section 4).
+
+The paper enriches transducers into *acceptors* of input sequences via
+three distinguished output relations, and proves the mechanisms
+pairwise incomparable for Spocus transducers:
+
+1. **error-free** -- a run is valid iff no output contains a fact over
+   the 0-ary relation ``error``;
+2. **ok** -- a run is valid iff *every* output contains ``ok``;
+3. **accept** -- a run is valid iff it is finite and its *last* output
+   contains ``accept``.
+
+The rest of the paper (and of this library) focuses on error-free runs,
+which can enforce the temporal input restrictions of class Tsdi
+(Theorem 4.1).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.core.run import Run
+from repro.relalg.instance import Instance
+
+ERROR_RELATION = "error"
+OK_RELATION = "ok"
+ACCEPT_RELATION = "accept"
+
+
+class AcceptanceMode(Enum):
+    """The three acceptance mechanisms of Section 4."""
+
+    ERROR_FREE = "error-free"
+    OK = "ok"
+    ACCEPT = "accept"
+
+
+ERROR_FREE = AcceptanceMode.ERROR_FREE
+OK = AcceptanceMode.OK
+ACCEPT = AcceptanceMode.ACCEPT
+
+
+def _relation_nonempty(instance: Instance, name: str) -> bool:
+    return name in instance.schema and bool(instance[name])
+
+
+def is_error_free(run: Run, error_relation: str = ERROR_RELATION) -> bool:
+    """True iff no output of the run contains an ``error`` fact."""
+    return not any(
+        _relation_nonempty(output, error_relation) for output in run.outputs
+    )
+
+
+def first_error_step(run: Run, error_relation: str = ERROR_RELATION) -> int | None:
+    """The 0-based index of the first erroring step, or None."""
+    for index, output in enumerate(run.outputs):
+        if _relation_nonempty(output, error_relation):
+            return index
+    return None
+
+
+def is_ok_run(run: Run, ok_relation: str = OK_RELATION) -> bool:
+    """True iff every output of the run contains ``ok``."""
+    return all(
+        _relation_nonempty(output, ok_relation) for output in run.outputs
+    )
+
+
+def is_accepted(run: Run, accept_relation: str = ACCEPT_RELATION) -> bool:
+    """True iff the run is non-empty and the last output contains ``accept``."""
+    if not run.outputs:
+        return False
+    return _relation_nonempty(run.outputs[-1], accept_relation)
+
+
+def run_is_valid(run: Run, mode: AcceptanceMode) -> bool:
+    """Dispatch over the three mechanisms."""
+    if mode is AcceptanceMode.ERROR_FREE:
+        return is_error_free(run)
+    if mode is AcceptanceMode.OK:
+        return is_ok_run(run)
+    if mode is AcceptanceMode.ACCEPT:
+        return is_accepted(run)
+    raise ValueError(f"unknown acceptance mode: {mode!r}")
+
+
+def error_free_prefix(run: Run) -> Run:
+    """The longest error-free prefix of a run."""
+    step = first_error_step(run)
+    if step is None:
+        return run
+    return run.prefix(step)
+
+
+def filter_error_free(runs: Iterable[Run]) -> list[Run]:
+    """Keep only the error-free runs."""
+    return [run for run in runs if is_error_free(run)]

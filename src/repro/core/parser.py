@@ -1,0 +1,238 @@
+"""Parser for full transducer program texts.
+
+Accepts the concrete syntax the paper uses to print its example
+transducers (``short``, ``friendly``)::
+
+    transducer short
+    schema
+      database: price/2, available/1;
+      input: order/1, pay/2;
+      state: past-order, past-pay;
+      output: sendbill/2, deliver/1;
+      log: sendbill, pay, deliver;
+    state rules
+      past-order(X) +:- order(X);
+      past-pay(X,Y) +:- pay(X,Y);
+    output rules
+      sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+      deliver(X) :- past-order(X), price(X,Y), pay(X,Y), NOT past-pay(X,Y);
+
+Arity annotations (``/n``) are optional: arities are inferred from rule
+atoms when possible.  The ``state:`` line is optional for Spocus
+transducers, whose state schema is derived from the inputs.
+
+When the state rules are exactly the canonical ``past-R(x̄) +:- R(x̄)``
+rules, a :class:`~repro.core.spocus.SpocusTransducer` is returned;
+otherwise (projection or other non-Spocus state rules) an
+:class:`~repro.core.spocus.ExtendedStateTransducer` is returned.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.core.spocus import (
+    ExtendedStateTransducer,
+    SpocusTransducer,
+    derive_state_schema,
+    past,
+)
+from repro.datalog.ast import Program, Rule, Variable
+from repro.datalog.parser import parse_program
+from repro.relalg.schema import DatabaseSchema, RelationSchema
+
+_SECTION_HEADERS = {
+    "schema": "schema",
+    "relations": "schema",  # the paper uses both spellings
+    "state rules": "state rules",
+    "output rules": "output rules",
+}
+
+_DECL_RE = re.compile(
+    r"^\s*(database|input|state|output|log)\s*:\s*(.*)$", re.IGNORECASE
+)
+_NAME_ARITY_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_-]*)\s*(?:/\s*(\d+))?$")
+
+
+@dataclass
+class _Declarations:
+    database: list[tuple[str, int | None]] = field(default_factory=list)
+    input: list[tuple[str, int | None]] = field(default_factory=list)
+    state: list[tuple[str, int | None]] = field(default_factory=list)
+    output: list[tuple[str, int | None]] = field(default_factory=list)
+    log: list[str] = field(default_factory=list)
+
+
+def _split_sections(source: str) -> tuple[str | None, _Declarations, str, str]:
+    """Return (name, declarations, state-rule text, output-rule text)."""
+    name: str | None = None
+    decls = _Declarations()
+    state_lines: list[str] = []
+    output_lines: list[str] = []
+    section = None
+    pending_decl: str | None = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        lowered = stripped.lower().rstrip(";").strip()
+        header_match = re.match(r"^transducer\s+(\S+)$", stripped, re.IGNORECASE)
+        if header_match and section is None:
+            name = header_match.group(1)
+            continue
+        if lowered in _SECTION_HEADERS:
+            section = _SECTION_HEADERS[lowered]
+            pending_decl = None
+            continue
+        if section == "schema" or (section is None and _DECL_RE.match(stripped)):
+            section = section or "schema"
+            match = _DECL_RE.match(stripped)
+            if match:
+                pending_decl = match.group(1).lower()
+                remainder = match.group(2)
+            else:
+                remainder = stripped
+                if pending_decl is None:
+                    raise ParseError(
+                        f"expected a declaration like 'input: ...': {stripped!r}",
+                        line_no,
+                    )
+            _parse_declaration(decls, pending_decl, remainder, line_no)
+            if remainder.rstrip().endswith(";"):
+                pending_decl = None
+            continue
+        if section == "state rules":
+            state_lines.append(line)
+            continue
+        if section == "output rules":
+            output_lines.append(line)
+            continue
+        raise ParseError(f"unexpected line outside any section: {stripped!r}", line_no)
+
+    return name, decls, "\n".join(state_lines), "\n".join(output_lines)
+
+
+def _parse_declaration(
+    decls: _Declarations, kind: str, text: str, line_no: int
+) -> None:
+    text = text.strip().rstrip(";").strip()
+    if not text:
+        return
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        match = _NAME_ARITY_RE.match(chunk)
+        if not match:
+            raise ParseError(f"bad relation declaration {chunk!r}", line_no)
+        name, arity_text = match.group(1), match.group(2)
+        arity = int(arity_text) if arity_text is not None else None
+        if kind == "log":
+            decls.log.append(name)
+        else:
+            getattr(decls, kind).append((name, arity))
+
+
+def _infer_arities(
+    declared: list[tuple[str, int | None]],
+    usage: dict[str, int],
+    kind: str,
+) -> DatabaseSchema:
+    relations = []
+    for name, arity in declared:
+        if arity is None:
+            arity = usage.get(name)
+            if arity is None:
+                raise ParseError(
+                    f"cannot infer arity of {kind} relation {name!r}: it is "
+                    "not used in any rule; annotate it as "
+                    f"'{name}/<arity>'"
+                )
+        relations.append(RelationSchema(name, arity))
+    return DatabaseSchema(relations)
+
+
+def _atom_usage(*programs: Program) -> dict[str, int]:
+    usage: dict[str, int] = {}
+    for program in programs:
+        for rule in program:
+            for atom in (
+                [rule.head] + rule.positive_atoms() + rule.negated_atoms()
+            ):
+                existing = usage.get(atom.predicate)
+                if existing is not None and existing != atom.arity:
+                    raise ParseError(
+                        f"relation {atom.predicate!r} used with arities "
+                        f"{existing} and {atom.arity}"
+                    )
+                usage[atom.predicate] = atom.arity
+    return usage
+
+
+def _is_canonical_past_rule(rule: Rule) -> bool:
+    """True for ``past-R(X1..Xk) +:- R(X1..Xk)`` exactly."""
+    if not rule.cumulative or len(rule.body) != 1:
+        return False
+    body = rule.positive_atoms()
+    if len(body) != 1:
+        return False
+    atom = body[0]
+    head = rule.head
+    if head.predicate != past(atom.predicate):
+        return False
+    if head.terms != atom.terms:
+        return False
+    return all(isinstance(t, Variable) for t in head.terms) and len(
+        set(head.terms)
+    ) == len(head.terms)
+
+
+def parse_transducer(
+    source: str,
+) -> SpocusTransducer | ExtendedStateTransducer:
+    """Parse a full transducer program.
+
+    Returns a :class:`SpocusTransducer` when the state rules are the
+    canonical cumulative ones (or omitted), and an
+    :class:`ExtendedStateTransducer` otherwise.
+    """
+    _name, decls, state_text, output_text = _split_sections(source)
+    state_program = parse_program(state_text)
+    output_program = parse_program(output_text)
+    usage = _atom_usage(state_program, output_program)
+
+    inputs = _infer_arities(decls.input, usage, "input")
+    outputs = _infer_arities(decls.output, usage, "output")
+    database = _infer_arities(decls.database, usage, "database")
+
+    canonical = all(_is_canonical_past_rule(r) for r in state_program)
+    declared_state_names = {name for name, _ in decls.state}
+    derived = derive_state_schema(inputs)
+    extra_state = declared_state_names - set(derived.names)
+
+    if canonical and not extra_state:
+        return SpocusTransducer(
+            inputs, outputs, database, output_program, tuple(decls.log)
+        )
+
+    # Extended transducer: explicit state schema (declared ∪ rule heads).
+    state_decls = list(decls.state)
+    known = {name for name, _ in state_decls}
+    for rule in state_program:
+        if rule.head.predicate not in known:
+            known.add(rule.head.predicate)
+            state_decls.append((rule.head.predicate, rule.head.arity))
+    state = _infer_arities(state_decls, usage, "state")
+    return ExtendedStateTransducer(
+        inputs,
+        state,
+        outputs,
+        database,
+        state_program,
+        output_program,
+        tuple(decls.log),
+    )

@@ -1,0 +1,111 @@
+"""High-level datalog engine API.
+
+:class:`DatalogEngine` bundles a parsed program with its static analyses
+(safety, stratification, arities) and evaluates it over
+:class:`~repro.relalg.instance.Instance` objects rather than raw fact
+dictionaries.  This is the interface the transducer core uses for output
+programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import RuleError, SchemaError
+from repro.datalog.ast import Program, Rule
+from repro.datalog.evaluate import evaluate_program
+from repro.datalog.parser import parse_program
+from repro.datalog.safety import check_program_safety
+from repro.datalog.stratify import is_nonrecursive, is_semipositive, stratify
+from repro.relalg.instance import Instance
+from repro.relalg.schema import DatabaseSchema, RelationSchema
+
+
+class DatalogEngine:
+    """A parsed, validated, evaluable datalog program.
+
+    Parameters
+    ----------
+    program:
+        A :class:`~repro.datalog.ast.Program` or source text to parse.
+    edb_schema:
+        Optional schema of the extensional relations.  When provided,
+        body predicates that are neither IDB nor in the schema raise
+        :class:`SchemaError` at construction time, catching typos early.
+    """
+
+    def __init__(
+        self,
+        program: Program | str,
+        edb_schema: DatabaseSchema | None = None,
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        check_program_safety(program)
+        self._program = program
+        self._arities = program.head_arities()
+        self._strata = stratify(program)
+        if edb_schema is not None:
+            unknown = (
+                program.edb_predicates()
+                - set(edb_schema.names)
+                - set(self._arities)
+            )
+            if unknown:
+                raise SchemaError(
+                    f"body predicates not in EDB schema or IDB: "
+                    f"{sorted(unknown)}"
+                )
+        self._edb_schema = edb_schema
+
+    # -- analyses --------------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def strata(self) -> list[set[str]]:
+        return self._strata
+
+    def idb_predicates(self) -> set[str]:
+        return self._program.head_predicates()
+
+    def idb_schema(self) -> DatabaseSchema:
+        """Schema of the derived predicates (arities inferred from heads)."""
+        return DatabaseSchema(
+            RelationSchema(name, arity)
+            for name, arity in sorted(self._arities.items())
+        )
+
+    def is_nonrecursive(self) -> bool:
+        return is_nonrecursive(self._program)
+
+    def is_semipositive(self, edb: set[str] | None = None) -> bool:
+        return is_semipositive(self._program, edb)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate_facts(
+        self, edb_facts: Mapping[str, Iterable[tuple]]
+    ) -> dict[str, frozenset[tuple]]:
+        """Evaluate over a raw fact mapping; return *all* facts."""
+        frozen = {
+            name: frozenset(tuple(r) for r in rows)
+            for name, rows in edb_facts.items()
+        }
+        return evaluate_program(self._program, frozen)
+
+    def evaluate(self, instance: Instance) -> Instance:
+        """Evaluate over an instance; return an instance of the IDB schema."""
+        edb_facts = {name: instance[name] for name in instance.schema.names}
+        clash = set(self._arities) & set(instance.schema.names)
+        if clash:
+            raise RuleError(
+                f"IDB predicates collide with EDB relations: {sorted(clash)}"
+            )
+        all_facts = self.evaluate_facts(edb_facts)
+        idb = self.idb_schema()
+        return Instance(
+            idb, {name: all_facts.get(name, frozenset()) for name in idb.names}
+        )

@@ -1,0 +1,206 @@
+"""Bottom-up evaluation of datalog programs.
+
+Rule bodies are evaluated by an ordered nested-loop join with early
+filtering: positive atoms extend partial bindings; negated atoms and
+inequalities are checked as soon as their variables are bound.  Programs
+are evaluated stratum by stratum; within a recursive stratum a semi-naive
+fixpoint is run.  Nonrecursive semipositive programs (Spocus output
+programs) take the single-pass path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import EvaluationError
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Inequality,
+    NegatedAtom,
+    PositiveAtom,
+    Program,
+    Rule,
+    Variable,
+)
+from repro.datalog.safety import check_rule_safety
+from repro.datalog.stratify import stratify
+
+Facts = Mapping[str, frozenset[tuple]]
+Binding = dict[Variable, object]
+
+
+def _match_atom(atom: Atom, row: tuple, binding: Binding) -> Binding | None:
+    """Try to extend ``binding`` so that ``atom`` matches ``row``."""
+    if len(row) != atom.arity:
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term, _UNSET)
+            if bound is _UNSET:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+_UNSET = object()
+
+
+def _term_value(term, binding: Binding):
+    if isinstance(term, Constant):
+        return term.value
+    if term in binding:
+        return binding[term]
+    return _UNSET
+
+
+def _literal_ready(literal, binding: Binding) -> bool:
+    """True when all of the literal's variables are bound."""
+    return all(v in binding for v in literal.variables())
+
+
+def _check_bound_literal(literal, binding: Binding, facts: Facts) -> bool:
+    """Evaluate a fully-bound negated atom or inequality."""
+    if isinstance(literal, NegatedAtom):
+        row = literal.atom.ground_tuple(binding)
+        return row not in facts.get(literal.atom.predicate, frozenset())
+    if isinstance(literal, Inequality):
+        left = _term_value(literal.left, binding)
+        right = _term_value(literal.right, binding)
+        return left != right
+    raise EvaluationError(f"not a checkable literal: {literal}")
+
+
+def evaluate_rule(
+    rule: Rule,
+    facts: Facts,
+    delta: Facts | None = None,
+) -> frozenset[tuple]:
+    """Evaluate one rule against ``facts``; return derived head tuples.
+
+    With ``delta`` given, performs the semi-naive version: at least one
+    positive atom must match a delta fact (used inside recursive strata).
+    Negated atoms are always evaluated against the full ``facts``.
+    """
+    check_rule_safety(rule)
+    positive = [l for l in rule.body if isinstance(l, PositiveAtom)]
+    checks = [l for l in rule.body if not isinstance(l, PositiveAtom)]
+
+    derived: set[tuple] = set()
+
+    def run_checks(binding: Binding, pending: list) -> list:
+        """Evaluate every check whose variables just became bound.
+
+        Returns the still-pending checks, or None to signal failure.
+        """
+        remaining = []
+        for literal in pending:
+            if _literal_ready(literal, binding):
+                if not _check_bound_literal(literal, binding, facts):
+                    return None  # type: ignore[return-value]
+            else:
+                remaining.append(literal)
+        return remaining
+
+    def extend(index: int, binding: Binding, pending: list, used_delta: bool) -> None:
+        if index == len(positive):
+            if pending:
+                unbound = {
+                    v.name for l in pending for v in l.variables()
+                } - {v.name for v in binding}
+                raise EvaluationError(
+                    f"rule {rule}: literals left unbound: {sorted(unbound)}"
+                )
+            if delta is None or used_delta:
+                derived.add(rule.head.ground_tuple(binding))
+            return
+        atom = positive[index].atom
+        sources: list[tuple[frozenset[tuple], bool]] = [
+            (facts.get(atom.predicate, frozenset()), False)
+        ]
+        # Semi-naive: additionally try only-delta rows when no delta row
+        # has been used yet.  (Delta rows are included in facts already;
+        # the flag tracks whether some delta row was used.)
+        for row in sources[0][0]:
+            is_delta = bool(
+                delta and row in delta.get(atom.predicate, frozenset())
+            )
+            extended = _match_atom(atom, row, binding)
+            if extended is None:
+                continue
+            still_pending = run_checks(extended, pending)
+            if still_pending is None:
+                continue
+            extend(index + 1, extended, still_pending, used_delta or is_delta)
+
+    if not positive:
+        # Body is empty or has only checks over constants.
+        binding: Binding = {}
+        pending = run_checks(binding, list(checks))
+        if pending is not None and not pending:
+            derived.add(rule.head.ground_tuple(binding))
+        return frozenset(derived)
+
+    extend(0, {}, list(checks), False)
+    return frozenset(derived)
+
+
+def evaluate_program(
+    program: Program,
+    edb_facts: Facts,
+    max_iterations: int = 100_000,
+) -> dict[str, frozenset[tuple]]:
+    """Evaluate a stratified program; return all facts (EDB + derived).
+
+    The program is stratified; each stratum is run to fixpoint with
+    semi-naive iteration (a single pass suffices for nonrecursive
+    strata).  The result maps every predicate, including EDB ones, to its
+    final set of tuples.
+    """
+    facts: dict[str, frozenset[tuple]] = {
+        name: frozenset(rows) for name, rows in edb_facts.items()
+    }
+    idb = program.head_predicates()
+    for predicate in idb:
+        facts.setdefault(predicate, frozenset())
+
+    for stratum in stratify(program):
+        stratum_rules = [
+            r for r in program if r.head.predicate in stratum & idb
+        ]
+        if not stratum_rules:
+            continue
+        # First full pass.
+        delta: dict[str, frozenset[tuple]] = {}
+        for rule in stratum_rules:
+            new_rows = evaluate_rule(rule, facts)
+            fresh = new_rows - facts[rule.head.predicate]
+            if fresh:
+                facts[rule.head.predicate] |= fresh
+                delta[rule.head.predicate] = (
+                    delta.get(rule.head.predicate, frozenset()) | fresh
+                )
+        # Semi-naive iteration to fixpoint.
+        iterations = 0
+        while delta:
+            iterations += 1
+            if iterations > max_iterations:
+                raise EvaluationError("fixpoint iteration budget exceeded")
+            next_delta: dict[str, frozenset[tuple]] = {}
+            for rule in stratum_rules:
+                if not (rule.body_predicates() & set(delta)):
+                    continue
+                new_rows = evaluate_rule(rule, facts, delta=delta)
+                fresh = new_rows - facts[rule.head.predicate]
+                if fresh:
+                    facts[rule.head.predicate] |= fresh
+                    next_delta[rule.head.predicate] = (
+                        next_delta.get(rule.head.predicate, frozenset()) | fresh
+                    )
+            delta = next_delta
+    return facts

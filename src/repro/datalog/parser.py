@@ -1,0 +1,237 @@
+"""Parser for the paper's rule syntax.
+
+The concrete syntax follows the programs printed in the paper::
+
+    sendbill(X,Y) :- order(X), price(X,Y), NOT past-pay(X,Y);
+    past-order(X) +:- order(X);
+    b :- B, past-A, NOT past-C, NOT C;
+    violation-F :- past-R(x,y), past-R(x,y'), y <> y';
+
+Conventions:
+
+* identifiers may contain letters, digits, ``_``, ``-`` and a trailing
+  run of ``'`` (primes, as in ``y'``);
+* a term identifier starting with an upper-case letter **or** ending in a
+  prime is a variable; others are constants -- except that inside a rule,
+  lower-case single letters used by the paper's formal examples
+  (``x, y, z``) are also treated as variables when the ``lowercase_vars``
+  flag is set;
+* numbers are integer constants, quoted strings are string constants;
+* ``NOT`` negates the following atom; ``<>`` is inequality;
+* ``:-`` introduces a plain rule, ``+:-`` a cumulative rule; a rule ends
+  with ``;`` or end of input.  A bare head (no ``:-``) is a fact.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Inequality,
+    Literal,
+    NegatedAtom,
+    PositiveAtom,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|%[^\n]*)
+  | (?P<cumulative>\+:-)
+  | (?P<implies>:-)
+  | (?P<neq><>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<semicolon>;)
+  | (?P<period>\.(?!\d))
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_-]*'*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> Iterator[_Token]:
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup or ""
+        text = match.group()
+        line += text.count("\n")
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        yield _Token(kind, text, line)
+
+
+class _Parser:
+    def __init__(self, source: str, lowercase_vars: bool = False) -> None:
+        self._tokens = list(_tokenize(source))
+        self._index = 0
+        self._lowercase_vars = lowercase_vars
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {token.text!r}", token.line
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+            while self._accept("semicolon") or self._accept("period"):
+                pass
+        return Program(tuple(rules))
+
+    def parse_rule(self) -> Rule:
+        head = self._parse_atom()
+        cumulative = False
+        body: tuple[Literal, ...] = ()
+        if self._accept("cumulative"):
+            cumulative = True
+            body = self._parse_body()
+        elif self._accept("implies"):
+            body = self._parse_body()
+        return Rule(head, body, cumulative)
+
+    def _parse_body(self) -> tuple[Literal, ...]:
+        literals = [self._parse_literal()]
+        while self._accept("comma"):
+            literals.append(self._parse_literal())
+        return tuple(literals)
+
+    def _parse_literal(self) -> Literal:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind == "ident" and token.text.upper() == "NOT":
+            self._next()
+            return NegatedAtom(self._parse_atom())
+        # Could be an atom or an inequality; parse a term and look ahead.
+        start = self._index
+        term = self._parse_term_or_none()
+        if term is not None and self._accept("neq"):
+            right = self._parse_term()
+            return Inequality(term, right)
+        self._index = start
+        return PositiveAtom(self._parse_atom())
+
+    def _parse_atom(self) -> Atom:
+        token = self._expect("ident")
+        predicate = token.text
+        terms: list[Term] = []
+        if self._accept("lparen"):
+            if not self._accept("rparen"):
+                terms.append(self._parse_term())
+                while self._accept("comma"):
+                    terms.append(self._parse_term())
+                self._expect("rparen")
+        return Atom(predicate, tuple(terms))
+
+    def _parse_term(self) -> Term:
+        term = self._parse_term_or_none()
+        if term is None:
+            token = self._peek()
+            text = token.text if token else "end of input"
+            raise ParseError(f"expected a term, got {text!r}")
+        return term
+
+    def _parse_term_or_none(self) -> Term | None:
+        token = self._peek()
+        if token is None:
+            return None
+        if token.kind == "number":
+            self._next()
+            return Constant(int(token.text))
+        if token.kind == "string":
+            self._next()
+            return Constant(token.text[1:-1])
+        if token.kind == "ident":
+            # An identifier followed by '(' is an atom, not a term.
+            following = (
+                self._tokens[self._index + 1]
+                if self._index + 1 < len(self._tokens)
+                else None
+            )
+            if following is not None and following.kind == "lparen":
+                return None
+            self._next()
+            return self._make_term(token.text)
+        return None
+
+    def _make_term(self, text: str) -> Term:
+        if text[0].isupper() or text.endswith("'"):
+            return Variable(text)
+        if self._lowercase_vars and len(text.rstrip("'")) == 1:
+            return Variable(text)
+        return Constant(text)
+
+
+def parse_rule(source: str, lowercase_vars: bool = False) -> Rule:
+    """Parse a single rule.  See module docstring for the syntax."""
+    parser = _Parser(source, lowercase_vars)
+    rule = parser.parse_rule()
+    while parser._accept("semicolon") or parser._accept("period"):
+        pass
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(
+            f"trailing input after rule: {token.text!r}",
+            token.line if token else None,
+        )
+    return rule
+
+
+def parse_program(source: str, lowercase_vars: bool = False) -> Program:
+    """Parse a sequence of rules separated by ``;`` (or newlines)."""
+    return _Parser(source, lowercase_vars).parse_program()

@@ -1,0 +1,59 @@
+"""Safety (range restriction) analysis.
+
+The paper's output rules require that *each variable in the rule occurs
+positively in the body* (Section 3.1, definition of Spocus transducers).
+This is the classical range-restriction condition: it guarantees that
+negated atoms and inequalities are evaluated only on bound values and
+that rule results are finite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SafetyError
+from repro.datalog.ast import Program, Rule
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`SafetyError` unless ``rule`` is range-restricted.
+
+    Every variable appearing in the head, in a negated atom, or in an
+    inequality must also appear in some positive relational body atom.
+    """
+    positive = rule.positive_body_variables()
+    unbound_head = rule.head_variables() - positive
+    if unbound_head:
+        names = ", ".join(sorted(v.name for v in unbound_head))
+        raise SafetyError(
+            f"rule {rule}: head variables not bound positively: {names}"
+        )
+    for atom in rule.negated_atoms():
+        unbound = set(atom.variables()) - positive
+        if unbound:
+            names = ", ".join(sorted(v.name for v in unbound))
+            raise SafetyError(
+                f"rule {rule}: variables of negated atom {atom} "
+                f"not bound positively: {names}"
+            )
+    for ineq in rule.inequalities():
+        unbound = set(ineq.variables()) - positive
+        if unbound:
+            names = ", ".join(sorted(v.name for v in unbound))
+            raise SafetyError(
+                f"rule {rule}: variables of inequality {ineq} "
+                f"not bound positively: {names}"
+            )
+
+
+def is_rule_safe(rule: Rule) -> bool:
+    """Boolean form of :func:`check_rule_safety`."""
+    try:
+        check_rule_safety(rule)
+    except SafetyError:
+        return False
+    return True
+
+
+def check_program_safety(program: Program) -> None:
+    """Check every rule of ``program``; raise on the first unsafe rule."""
+    for rule in program:
+        check_rule_safety(rule)

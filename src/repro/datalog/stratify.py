@@ -1,0 +1,168 @@
+"""Predicate dependency analysis and stratification.
+
+Builds the dependency graph of a program (edges from body predicates to
+head predicates, marked negative when the body occurrence is negated)
+and derives:
+
+* whether the program is *nonrecursive* (no cycle through IDB
+  predicates) -- required of Spocus output programs;
+* whether it is *semipositive* (negation applied only to EDB
+  predicates) -- the other half of the Spocus restriction;
+* a stratification for general stratified-negation programs, used by the
+  engine's fixpoint evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import RuleError
+from repro.datalog.ast import Program
+
+
+@dataclass
+class DependencyGraph:
+    """Predicate-level dependency graph of a datalog program.
+
+    ``positive_edges[p]`` and ``negative_edges[p]`` hold the head
+    predicates that depend on ``p`` positively / negatively.
+    """
+
+    predicates: set[str] = field(default_factory=set)
+    positive_edges: dict[str, set[str]] = field(default_factory=dict)
+    negative_edges: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, program: Program) -> "DependencyGraph":
+        graph = cls()
+        graph.predicates = program.all_predicates()
+        for rule in program:
+            head = rule.head.predicate
+            graph.predicates.add(head)
+            for atom in rule.positive_atoms():
+                graph.positive_edges.setdefault(atom.predicate, set()).add(head)
+            for atom in rule.negated_atoms():
+                graph.negative_edges.setdefault(atom.predicate, set()).add(head)
+        return graph
+
+    def successors(self, predicate: str) -> set[str]:
+        return self.positive_edges.get(predicate, set()) | self.negative_edges.get(
+            predicate, set()
+        )
+
+    def reachable_from(self, sources: Iterable[str]) -> set[str]:
+        """All predicates reachable from ``sources`` (any edge polarity)."""
+        seen: set[str] = set()
+        stack = list(sources)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.successors(node))
+        return seen
+
+    def has_cycle_through(self, idb: set[str]) -> bool:
+        """True if some cycle uses only IDB predicates."""
+        color: dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            color[node] = 1
+            for succ in self.successors(node):
+                if succ not in idb:
+                    continue
+                state = color.get(succ, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(succ):
+                    return True
+            color[node] = 2
+            return False
+
+        return any(
+            color.get(node, 0) == 0 and visit(node) for node in sorted(idb)
+        )
+
+
+def is_nonrecursive(program: Program) -> bool:
+    """True if no IDB predicate depends (transitively) on itself."""
+    graph = DependencyGraph.of(program)
+    return not graph.has_cycle_through(program.head_predicates())
+
+
+def is_semipositive(program: Program, edb: set[str] | None = None) -> bool:
+    """True if negation is applied only to EDB predicates.
+
+    ``edb`` defaults to the predicates never appearing in a head.  Spocus
+    output programs must be semipositive with respect to input, state,
+    and database relations.
+    """
+    if edb is None:
+        edb = program.edb_predicates()
+    for rule in program:
+        for atom in rule.negated_atoms():
+            if atom.predicate not in edb:
+                return False
+    return True
+
+
+def stratify(program: Program) -> list[set[str]]:
+    """Return a stratification: a list of predicate strata.
+
+    Stratum computation is the classical one: ``stratum(head) >=
+    stratum(body)`` for positive dependencies and ``stratum(head) >
+    stratum(body)`` for negative ones.  Raises :class:`RuleError` if the
+    program is not stratifiable (negative cycle).
+    """
+    idb = program.head_predicates()
+    stratum = {p: 0 for p in program.all_predicates()}
+    bound = len(idb) + 1
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > bound * max(1, len(stratum)):
+            raise RuleError("program is not stratifiable (negative cycle)")
+        for rule in program:
+            head = rule.head.predicate
+            for atom in rule.positive_atoms():
+                if stratum[head] < stratum[atom.predicate]:
+                    stratum[head] = stratum[atom.predicate]
+                    changed = True
+            for atom in rule.negated_atoms():
+                if stratum[head] < stratum[atom.predicate] + 1:
+                    stratum[head] = stratum[atom.predicate] + 1
+                    changed = True
+            if stratum[head] > bound:
+                raise RuleError("program is not stratifiable (negative cycle)")
+    height = max(stratum.values(), default=0)
+    strata: list[set[str]] = [set() for _ in range(height + 1)]
+    for predicate, level in stratum.items():
+        strata[level].add(predicate)
+    return [s for s in strata if s]
+
+
+def evaluation_order(program: Program) -> list[str]:
+    """Topological order of IDB predicates for nonrecursive programs."""
+    idb = program.head_predicates()
+    graph = DependencyGraph.of(program)
+    if graph.has_cycle_through(idb):
+        raise RuleError("program is recursive; no topological order exists")
+    order: list[str] = []
+    visited: set[str] = set()
+
+    def visit(node: str) -> None:
+        if node in visited:
+            return
+        visited.add(node)
+        for rule in program.rules_for(node):
+            for dep in sorted(rule.body_predicates()):
+                if dep in idb:
+                    visit(dep)
+        order.append(node)
+
+    for predicate in sorted(idb):
+        visit(predicate)
+    return order

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single exception type at API boundaries.  The
+subclasses mirror the major subsystems: schemas, datalog rules, transducer
+restrictions, logic/solver limits, and parsing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or transducer schema is malformed or violated.
+
+    Raised, for example, when a tuple of the wrong arity is inserted into
+    a relation, when two transducer schema components overlap, or when a
+    log relation is not among the input/output relations.
+    """
+
+
+class ArityError(SchemaError):
+    """A tuple's arity does not match its relation's declared arity."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was referenced that the schema does not declare."""
+
+
+class RuleError(ReproError):
+    """A datalog rule is malformed (unsafe, wrong head, bad literal)."""
+
+
+class SafetyError(RuleError):
+    """A rule violates the range-restriction (safety) condition.
+
+    Section 3.1 of the paper requires every variable of a rule to occur
+    in a positive relational literal of the body.
+    """
+
+
+class SpocusViolation(ReproError):
+    """A transducer program violates the Spocus restrictions.
+
+    The offending construct is named in the message: recursive output
+    rules, non-cumulative state rules, projections in state rules, and
+    so on (Definition in Section 3.1 of the paper).
+    """
+
+
+class ParseError(ReproError):
+    """A textual program or formula could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class EvaluationError(ReproError):
+    """Evaluation of a datalog program or algebra expression failed."""
+
+
+class SolverError(ReproError):
+    """The SAT/BSR solver was given unsupported input."""
+
+
+class NotInPrefixClassError(SolverError):
+    """A sentence is outside the Bernays-Schoenfinkel class after prenexing."""
+
+
+class VerificationError(ReproError):
+    """A verification procedure was applied outside its decidable scope."""
+
+
+class UndecidableError(VerificationError):
+    """The exact question posed is undecidable in general.
+
+    The library raises this instead of silently running a semi-decision
+    procedure, unless the caller explicitly opts into a bounded search.
+    """
+
+
+class ChaseNonterminationError(ReproError):
+    """The chase exceeded its step budget without reaching a fixpoint."""

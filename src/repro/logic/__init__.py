@@ -1,0 +1,68 @@
+"""First-order logic substrate.
+
+The paper's decision procedures all reduce to finite satisfiability of
+sentences in the Bernays-Schoenfinkel prefix class (∃*∀*FO with
+constants and equality, no function symbols).  This subpackage provides:
+
+* a first-order formula AST (:mod:`repro.logic.fol`) reusing the datalog
+  term types;
+* prenexing and prefix-class classification (:mod:`repro.logic.prenex`);
+* finite structures and a model checker (:mod:`repro.logic.structures`);
+* grounding of BSR sentences to propositional logic
+  (:mod:`repro.logic.grounding`);
+* Tseitin CNF conversion (:mod:`repro.logic.cnf`);
+* a from-scratch DPLL SAT solver with watched literals
+  (:mod:`repro.logic.sat`);
+* the BSR finite-satisfiability decision procedure with model extraction
+  (:mod:`repro.logic.bsr`).
+"""
+
+from repro.logic.fol import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    Top,
+    conjoin,
+    disjoin,
+)
+from repro.logic.prenex import PrenexSentence, classify_prefix, prenex, rectify, to_nnf
+from repro.logic.structures import Structure
+from repro.logic.cnf import CnfBuilder
+from repro.logic.sat import SatSolver, Solution
+from repro.logic.bsr import BsrResult, decide_bsr
+
+__all__ = [
+    "Formula",
+    "Rel",
+    "Eq",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "Forall",
+    "Top",
+    "Bottom",
+    "conjoin",
+    "disjoin",
+    "prenex",
+    "rectify",
+    "to_nnf",
+    "classify_prefix",
+    "PrenexSentence",
+    "Structure",
+    "CnfBuilder",
+    "SatSolver",
+    "Solution",
+    "decide_bsr",
+    "BsrResult",
+]

@@ -1,0 +1,217 @@
+"""Propositional CNF construction (Tseitin transform).
+
+The grounding step of the BSR procedure produces a propositional
+formula tree over hashable atom keys.  :class:`CnfBuilder` assigns SAT
+variable numbers to atoms and converts formula trees to clause lists
+with fresh definition variables so the clause count stays linear in the
+tree size.
+
+Propositional trees reuse a tiny node algebra (:class:`PTrue`,
+:class:`PFalse`, :class:`PVar`, :class:`PNot`, :class:`PAnd`,
+:class:`POr`) rather than the first-order classes, keeping the SAT layer
+independent of the FO layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+
+class PropFormula:
+    """Base class of propositional formula nodes."""
+
+
+@dataclass(frozen=True)
+class PTrue(PropFormula):
+    pass
+
+
+@dataclass(frozen=True)
+class PFalse(PropFormula):
+    pass
+
+
+@dataclass(frozen=True)
+class PVar(PropFormula):
+    key: Hashable
+
+
+@dataclass(frozen=True)
+class PNot(PropFormula):
+    operand: PropFormula
+
+
+@dataclass(frozen=True)
+class PAnd(PropFormula):
+    operands: tuple[PropFormula, ...]
+
+
+@dataclass(frozen=True)
+class POr(PropFormula):
+    operands: tuple[PropFormula, ...]
+
+
+def pand(operands: Iterable[PropFormula]) -> PropFormula:
+    flat: list[PropFormula] = []
+    for op in operands:
+        if isinstance(op, PFalse):
+            return PFalse()
+        if isinstance(op, PTrue):
+            continue
+        if isinstance(op, PAnd):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return PTrue()
+    if len(flat) == 1:
+        return flat[0]
+    return PAnd(tuple(flat))
+
+
+def por(operands: Iterable[PropFormula]) -> PropFormula:
+    flat: list[PropFormula] = []
+    for op in operands:
+        if isinstance(op, PTrue):
+            return PTrue()
+        if isinstance(op, PFalse):
+            continue
+        if isinstance(op, POr):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return PFalse()
+    if len(flat) == 1:
+        return flat[0]
+    return POr(tuple(flat))
+
+
+def pnot(operand: PropFormula) -> PropFormula:
+    if isinstance(operand, PTrue):
+        return PFalse()
+    if isinstance(operand, PFalse):
+        return PTrue()
+    if isinstance(operand, PNot):
+        return operand.operand
+    return PNot(operand)
+
+
+class CnfBuilder:
+    """Accumulates CNF clauses over integer literals (DIMACS convention).
+
+    Atoms are arbitrary hashable keys; :meth:`variable` interns them.
+    :meth:`add_formula` asserts a propositional formula via the Tseitin
+    transform.  :meth:`clauses` returns the clause list for the solver
+    and :meth:`decode` converts a model back to a key->bool mapping.
+    """
+
+    def __init__(self) -> None:
+        self._var_of_key: dict[Hashable, int] = {}
+        self._key_of_var: dict[int, Hashable] = {}
+        self._next_var = 1
+        self._clauses: list[list[int]] = []
+
+    # -- variables --------------------------------------------------------------
+
+    def variable(self, key: Hashable) -> int:
+        var = self._var_of_key.get(key)
+        if var is None:
+            var = self._next_var
+            self._next_var += 1
+            self._var_of_key[key] = var
+            self._key_of_var[var] = key
+        return var
+
+    def fresh_variable(self) -> int:
+        var = self._next_var
+        self._next_var += 1
+        return var
+
+    @property
+    def variable_count(self) -> int:
+        return self._next_var - 1
+
+    @property
+    def clause_count(self) -> int:
+        return len(self._clauses)
+
+    def clauses(self) -> list[list[int]]:
+        return self._clauses
+
+    def key_of(self, var: int) -> Hashable | None:
+        return self._key_of_var.get(var)
+
+    # -- clause construction -----------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        self._clauses.append(list(literals))
+
+    def add_exactly_one(self, literals: list[int]) -> None:
+        """Assert exactly one of ``literals`` (pairwise encoding)."""
+        self.add_clause(literals)
+        for i in range(len(literals)):
+            for j in range(i + 1, len(literals)):
+                self.add_clause([-literals[i], -literals[j]])
+
+    def add_formula(self, formula: PropFormula) -> None:
+        """Assert ``formula`` via Tseitin definition variables."""
+        literal = self._tseitin(formula)
+        if literal is None:  # constant
+            if isinstance(formula, PFalse) or (
+                isinstance(formula, PNot) and isinstance(formula.operand, PTrue)
+            ):
+                self.add_clause([])  # unsatisfiable
+            return
+        self.add_clause([literal])
+
+    def _tseitin(self, formula: PropFormula) -> int | None:
+        """Return a literal equisatisfiable with ``formula`` (None = ⊤).
+
+        Constants are simplified away by the smart constructors before
+        they reach here, but we handle them defensively.
+        """
+        if isinstance(formula, PTrue):
+            return None
+        if isinstance(formula, PFalse):
+            # Represent ⊥ as a fresh variable forced false.
+            var = self.fresh_variable()
+            self.add_clause([-var])
+            return var
+        if isinstance(formula, PVar):
+            return self.variable(formula.key)
+        if isinstance(formula, PNot):
+            inner = self._tseitin(formula.operand)
+            if inner is None:
+                var = self.fresh_variable()
+                self.add_clause([-var])
+                return var
+            return -inner
+        if isinstance(formula, PAnd):
+            parts = [self._tseitin(op) for op in formula.operands]
+            parts = [p for p in parts if p is not None]
+            if not parts:
+                return None
+            out = self.fresh_variable()
+            for p in parts:
+                self.add_clause([-out, p])
+            self.add_clause([out] + [-p for p in parts])
+            return out
+        if isinstance(formula, POr):
+            parts = [self._tseitin(op) for op in formula.operands]
+            if any(p is None for p in parts):
+                return None
+            out = self.fresh_variable()
+            for p in parts:
+                self.add_clause([-p, out])
+            self.add_clause([-out] + list(parts))
+            return out
+        raise TypeError(f"unknown propositional node: {formula!r}")
+
+    def decode(self, assignment: dict[int, bool]) -> dict[Hashable, bool]:
+        """Map a solver assignment back to atom keys."""
+        return {
+            key: assignment.get(var, False)
+            for key, var in self._var_of_key.items()
+        }

@@ -1,0 +1,375 @@
+"""First-order formula AST.
+
+Terms are the datalog :class:`~repro.datalog.ast.Variable` and
+:class:`~repro.datalog.ast.Constant` (no function symbols -- the
+Bernays-Schoenfinkel class forbids them anyway).  Formulas are immutable
+trees.  Convenience constructors :func:`conjoin` / :func:`disjoin`
+flatten and simplify trivial cases so encoders can be written without
+special-casing empty conjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.datalog.ast import Constant, Term, Variable
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    def free_variables(self) -> frozenset[Variable]:
+        raise NotImplementedError
+
+    def constants(self) -> frozenset:
+        raise NotImplementedError
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> "Formula":
+        """Simultaneous substitution of terms for free variables.
+
+        Bindings map variables to terms (usually constants); quantified
+        occurrences shadow as expected.  Capture cannot occur when all
+        substituted terms are constants, which is the only use in this
+        library (grounding).
+        """
+        raise NotImplementedError
+
+    # sugar
+    def __and__(self, other: "Formula") -> "Formula":
+        return conjoin([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disjoin([self, other])
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The true constant."""
+
+    def __str__(self) -> str:
+        return "⊤"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def constants(self) -> frozenset:
+        return frozenset()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return self
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The false constant."""
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def constants(self) -> frozenset:
+        return frozenset()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return self
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+def _term_str(term: Term) -> str:
+    return str(term)
+
+
+@dataclass(frozen=True)
+class Rel(Formula):
+    """A relational atom ``predicate(t1, ..., tk)``."""
+
+    predicate: str
+    terms: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return self.predicate
+        return f"{self.predicate}({', '.join(map(_term_str, self.terms))})"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def constants(self) -> frozenset:
+        return frozenset(t.value for t in self.terms if isinstance(t, Constant))
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return Rel(
+            self.predicate,
+            tuple(binding.get(t, t) if isinstance(t, Variable) else t
+                  for t in self.terms),
+        )
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """The equality atom ``left = right``."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{_term_str(self.left)} = {_term_str(self.right)}"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def constants(self) -> frozenset:
+        return frozenset(
+            t.value for t in (self.left, self.right) if isinstance(t, Constant)
+        )
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        def sub(t: Term) -> Term:
+            return binding.get(t, t) if isinstance(t, Variable) else t
+
+        return Eq(sub(self.left), sub(self.right))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}" if isinstance(
+            self.operand, (Rel, Eq, Top, Bottom, Not)
+        ) else f"¬({self.operand})"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.operand.free_variables()
+
+    def constants(self) -> frozenset:
+        return self.operand.constants()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return Not(self.operand.substitute(binding))
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    operands: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(map(str, self.operands)) + ")"
+
+    def free_variables(self) -> frozenset[Variable]:
+        out: frozenset[Variable] = frozenset()
+        for f in self.operands:
+            out |= f.free_variables()
+        return out
+
+    def constants(self) -> frozenset:
+        out: frozenset = frozenset()
+        for f in self.operands:
+            out |= f.constants()
+        return out
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return And(tuple(f.substitute(binding) for f in self.operands))
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    operands: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(map(str, self.operands)) + ")"
+
+    def free_variables(self) -> frozenset[Variable]:
+        out: frozenset[Variable] = frozenset()
+        for f in self.operands:
+            out |= f.free_variables()
+        return out
+
+    def constants(self) -> frozenset:
+        out: frozenset = frozenset()
+        for f in self.operands:
+            out |= f.constants()
+        return out
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return Or(tuple(f.substitute(binding) for f in self.operands))
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} → {self.consequent})"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def constants(self) -> frozenset:
+        return self.antecedent.constants() | self.consequent.constants()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return Implies(
+            self.antecedent.substitute(binding),
+            self.consequent.substitute(binding),
+        )
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ↔ {self.right})"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def constants(self) -> frozenset:
+        return self.left.constants() | self.right.constants()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        return Iff(self.left.substitute(binding), self.right.substitute(binding))
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variables: tuple[Variable, ...]
+    body: Formula
+
+    def __str__(self) -> str:
+        vars_ = " ".join(f"∃{v}" for v in self.variables)
+        return f"{vars_}.({self.body})"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.body.free_variables() - frozenset(self.variables)
+
+    def constants(self) -> frozenset:
+        return self.body.constants()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        inner = {
+            v: t for v, t in binding.items() if v not in self.variables
+        }
+        return Exists(self.variables, self.body.substitute(inner))
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    variables: tuple[Variable, ...]
+    body: Formula
+
+    def __str__(self) -> str:
+        vars_ = " ".join(f"∀{v}" for v in self.variables)
+        return f"{vars_}.({self.body})"
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.body.free_variables() - frozenset(self.variables)
+
+    def constants(self) -> frozenset:
+        return self.body.constants()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> Formula:
+        inner = {
+            v: t for v, t in binding.items() if v not in self.variables
+        }
+        return Forall(self.variables, self.body.substitute(inner))
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def conjoin(formulas: Iterable[Formula]) -> Formula:
+    """N-ary conjunction with flattening and unit simplification."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, Bottom):
+            return BOTTOM
+        if isinstance(f, Top):
+            continue
+        if isinstance(f, And):
+            flat.extend(f.operands)
+        else:
+            flat.append(f)
+    if not flat:
+        return TOP
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjoin(formulas: Iterable[Formula]) -> Formula:
+    """N-ary disjunction with flattening and unit simplification."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, Top):
+            return TOP
+        if isinstance(f, Bottom):
+            continue
+        if isinstance(f, Or):
+            flat.extend(f.operands)
+        else:
+            flat.append(f)
+    if not flat:
+        return BOTTOM
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def exists(variables: Iterable[Variable], body: Formula) -> Formula:
+    """∃ constructor dropping vacuous quantifiers."""
+    used = tuple(v for v in variables if v in body.free_variables())
+    if not used:
+        return body
+    return Exists(used, body)
+
+
+def forall(variables: Iterable[Variable], body: Formula) -> Formula:
+    """∀ constructor dropping vacuous quantifiers."""
+    used = tuple(v for v in variables if v in body.free_variables())
+    if not used:
+        return body
+    return Forall(used, body)
+
+
+def iter_subformulas(formula: Formula) -> Iterator[Formula]:
+    """Depth-first iterator over all subformulas (including the root)."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from iter_subformulas(formula.operand)
+    elif isinstance(formula, (And, Or)):
+        for f in formula.operands:
+            yield from iter_subformulas(f)
+    elif isinstance(formula, Implies):
+        yield from iter_subformulas(formula.antecedent)
+        yield from iter_subformulas(formula.consequent)
+    elif isinstance(formula, Iff):
+        yield from iter_subformulas(formula.left)
+        yield from iter_subformulas(formula.right)
+    elif isinstance(formula, (Exists, Forall)):
+        yield from iter_subformulas(formula.body)
+
+
+def predicates_of(formula: Formula) -> dict[str, int]:
+    """Map each predicate occurring in ``formula`` to its arity."""
+    out: dict[str, int] = {}
+    for sub in iter_subformulas(formula):
+        if isinstance(sub, Rel):
+            out[sub.predicate] = len(sub.terms)
+    return out

@@ -1,0 +1,269 @@
+"""Prenexing and prefix-class classification.
+
+The pipeline is: eliminate ``→``/``↔``, push negations to atoms (negation
+normal form), rectify (rename quantified variables apart), then pull
+quantifiers to the front.  In NNF the pull is order-preserving and needs
+no special rules for implication.  :func:`classify_prefix` then checks
+whether the quantifier prefix matches ∃*∀* -- the Bernays-Schoenfinkel
+class whose finite satisfiability is decidable (Ramsey 1930; complexity
+by Lewis 1980, as cited in the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.datalog.ast import Variable
+from repro.errors import NotInPrefixClassError
+from repro.logic.fol import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    Top,
+    conjoin,
+    disjoin,
+)
+
+
+def eliminate_implications(formula: Formula) -> Formula:
+    """Rewrite ``→`` and ``↔`` in terms of ∧, ∨, ¬."""
+    if isinstance(formula, (Rel, Eq, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_implications(formula.operand))
+    if isinstance(formula, And):
+        return conjoin(eliminate_implications(f) for f in formula.operands)
+    if isinstance(formula, Or):
+        return disjoin(eliminate_implications(f) for f in formula.operands)
+    if isinstance(formula, Implies):
+        return disjoin(
+            [
+                Not(eliminate_implications(formula.antecedent)),
+                eliminate_implications(formula.consequent),
+            ]
+        )
+    if isinstance(formula, Iff):
+        left = eliminate_implications(formula.left)
+        right = eliminate_implications(formula.right)
+        return conjoin(
+            [disjoin([Not(left), right]), disjoin([Not(right), left])]
+        )
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, eliminate_implications(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.variables, eliminate_implications(formula.body))
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form (implications eliminated first)."""
+    return _nnf(eliminate_implications(formula), positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, (Rel, Eq)):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Top):
+        return formula if positive else Bottom()
+    if isinstance(formula, Bottom):
+        return formula if positive else Top()
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not positive)
+    if isinstance(formula, And):
+        parts = [_nnf(f, positive) for f in formula.operands]
+        return conjoin(parts) if positive else disjoin(parts)
+    if isinstance(formula, Or):
+        parts = [_nnf(f, positive) for f in formula.operands]
+        return disjoin(parts) if positive else conjoin(parts)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, positive)
+        return Exists(formula.variables, body) if positive else Forall(
+            formula.variables, body
+        )
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, positive)
+        return Forall(formula.variables, body) if positive else Exists(
+            formula.variables, body
+        )
+    raise TypeError(f"unexpected node in NNF pass: {formula!r}")
+
+
+def rectify(formula: Formula) -> Formula:
+    """Rename quantified variables so each is bound exactly once.
+
+    Free variables are never renamed.  The fresh names are ``v#<n>``,
+    chosen to avoid every variable occurring anywhere in the input.
+    """
+    taken = {v.name for v in _all_variables(formula)}
+    counter = itertools.count()
+
+    def fresh(base: str) -> Variable:
+        while True:
+            name = f"{base}#{next(counter)}"
+            if name not in taken:
+                taken.add(name)
+                return Variable(name)
+
+    def walk(f: Formula, renaming: dict[Variable, Variable]) -> Formula:
+        if isinstance(f, Rel):
+            return Rel(
+                f.predicate,
+                tuple(
+                    renaming.get(t, t) if isinstance(t, Variable) else t
+                    for t in f.terms
+                ),
+            )
+        if isinstance(f, Eq):
+            def sub(t):
+                return renaming.get(t, t) if isinstance(t, Variable) else t
+
+            return Eq(sub(f.left), sub(f.right))
+        if isinstance(f, (Top, Bottom)):
+            return f
+        if isinstance(f, Not):
+            return Not(walk(f.operand, renaming))
+        if isinstance(f, And):
+            return And(tuple(walk(g, renaming) for g in f.operands))
+        if isinstance(f, Or):
+            return Or(tuple(walk(g, renaming) for g in f.operands))
+        if isinstance(f, Implies):
+            return Implies(walk(f.antecedent, renaming), walk(f.consequent, renaming))
+        if isinstance(f, Iff):
+            return Iff(walk(f.left, renaming), walk(f.right, renaming))
+        if isinstance(f, (Exists, Forall)):
+            new_vars = tuple(fresh(v.name) for v in f.variables)
+            inner = dict(renaming)
+            inner.update(zip(f.variables, new_vars))
+            body = walk(f.body, inner)
+            cls = Exists if isinstance(f, Exists) else Forall
+            return cls(new_vars, body)
+        raise TypeError(f"unknown formula node: {f!r}")
+
+    return walk(formula, {})
+
+
+def _all_variables(formula: Formula) -> set[Variable]:
+    out: set[Variable] = set()
+
+    def walk(f: Formula) -> None:
+        if isinstance(f, Rel):
+            out.update(t for t in f.terms if isinstance(t, Variable))
+        elif isinstance(f, Eq):
+            out.update(
+                t for t in (f.left, f.right) if isinstance(t, Variable)
+            )
+        elif isinstance(f, Not):
+            walk(f.operand)
+        elif isinstance(f, (And, Or)):
+            for g in f.operands:
+                walk(g)
+        elif isinstance(f, Implies):
+            walk(f.antecedent)
+            walk(f.consequent)
+        elif isinstance(f, Iff):
+            walk(f.left)
+            walk(f.right)
+        elif isinstance(f, (Exists, Forall)):
+            out.update(f.variables)
+            walk(f.body)
+
+    walk(formula)
+    return out
+
+
+@dataclass(frozen=True)
+class PrenexSentence:
+    """A sentence in prenex normal form.
+
+    ``prefix`` is a sequence of ('exists'|'forall', variable) pairs in
+    binding order; ``matrix`` is quantifier-free.
+    """
+
+    prefix: tuple[tuple[str, Variable], ...]
+    matrix: Formula
+
+    def __str__(self) -> str:
+        symbols = {"exists": "∃", "forall": "∀"}
+        prefix = " ".join(f"{symbols[kind]}{var}" for kind, var in self.prefix)
+        return f"{prefix}.({self.matrix})" if prefix else str(self.matrix)
+
+    def existential_variables(self) -> tuple[Variable, ...]:
+        return tuple(v for kind, v in self.prefix if kind == "exists")
+
+    def universal_variables(self) -> tuple[Variable, ...]:
+        return tuple(v for kind, v in self.prefix if kind == "forall")
+
+
+def prenex(formula: Formula) -> PrenexSentence:
+    """Convert to prenex normal form (via NNF and rectification).
+
+    After rectification, quantifiers in sibling branches bind independent
+    variables, so they may be interleaved freely; only the ancestor order
+    along each path is semantically binding.  We exploit this freedom to
+    place every existential with no universal ancestor *first*, which
+    recovers the Bernays-Schoenfinkel prefix for the conjunctions of
+    ∃*FO and ∀*FO sentences produced by the paper's encodings (proof of
+    Theorem 3.1).
+    """
+    normal = rectify(to_nnf(formula))
+    front: list[tuple[str, Variable]] = []  # ∃ with no ∀ ancestor
+    rest: list[tuple[str, Variable]] = []  # everything else, DFS order
+
+    def pull(f: Formula, under_forall: bool) -> Formula:
+        if isinstance(f, Exists):
+            target = rest if under_forall else front
+            for v in f.variables:
+                target.append(("exists", v))
+            return pull(f.body, under_forall)
+        if isinstance(f, Forall):
+            for v in f.variables:
+                rest.append(("forall", v))
+            return pull(f.body, True)
+        if isinstance(f, And):
+            return conjoin(pull(g, under_forall) for g in f.operands)
+        if isinstance(f, Or):
+            return disjoin(pull(g, under_forall) for g in f.operands)
+        if isinstance(f, Not):
+            # NNF: operand is an atom.
+            return f
+        return f
+
+    matrix = pull(normal, False)
+    return PrenexSentence(tuple(front + rest), matrix)
+
+
+def classify_prefix(sentence: PrenexSentence) -> str:
+    """Classify the quantifier prefix: 'exists*', 'forall*', 'exists*forall*', or 'other'."""
+    kinds = [kind for kind, _ in sentence.prefix]
+    if all(k == "exists" for k in kinds):
+        return "exists*"
+    if all(k == "forall" for k in kinds):
+        return "forall*"
+    switch = kinds.index("forall")
+    if all(k == "forall" for k in kinds[switch:]):
+        return "exists*forall*"
+    return "other"
+
+
+def require_bsr(sentence: PrenexSentence) -> PrenexSentence:
+    """Raise unless the sentence is in the Bernays-Schoenfinkel class.
+
+    Note that pulling quantifiers out of a conjunction can turn an
+    encoder-produced conjunction of ∃*FO and ∀*FO sentences into
+    ∃*∀*FO, exactly as in the proof of Theorem 3.1.
+    """
+    if classify_prefix(sentence) == "other":
+        raise NotInPrefixClassError(
+            f"sentence is not in ∃*∀*FO: prefix "
+            f"{''.join(k[0] for k, _ in sentence.prefix)}"
+        )
+    return sentence

@@ -1,0 +1,151 @@
+"""Finite first-order structures and a model checker.
+
+A :class:`Structure` interprets relation symbols over a finite domain
+under the unique-name assumption (constants denote themselves; a
+constant appearing in a formula must be an element of the domain).
+The model checker evaluates arbitrary FO formulas by exhaustive
+quantifier expansion -- exponential in quantifier depth, but the
+structures produced by the BSR procedure are tiny, and having an
+independent evaluator lets the test suite cross-validate the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.datalog.ast import Constant, Term, Variable
+from repro.errors import SolverError
+from repro.logic.fol import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    Top,
+)
+
+
+@dataclass
+class Structure:
+    """A finite relational structure.
+
+    ``domain`` is a finite set of values; ``relations`` maps relation
+    names to sets of tuples over the domain.
+    """
+
+    domain: frozenset
+    relations: dict[str, frozenset[tuple]] = field(default_factory=dict)
+
+    @classmethod
+    def of(
+        cls,
+        domain: Iterable,
+        relations: Mapping[str, Iterable[tuple]] | None = None,
+    ) -> "Structure":
+        dom = frozenset(domain)
+        rels: dict[str, frozenset[tuple]] = {}
+        if relations:
+            for name, rows in relations.items():
+                frozen = frozenset(tuple(r) for r in rows)
+                for row in frozen:
+                    bad = [v for v in row if v not in dom]
+                    if bad:
+                        raise SolverError(
+                            f"tuple {row!r} of {name!r} uses values outside "
+                            f"the domain: {bad!r}"
+                        )
+                rels[name] = frozen
+        return cls(dom, rels)
+
+    def tuples(self, predicate: str) -> frozenset[tuple]:
+        return self.relations.get(predicate, frozenset())
+
+    def with_relation(self, name: str, rows: Iterable[tuple]) -> "Structure":
+        rels = dict(self.relations)
+        rels[name] = frozenset(tuple(r) for r in rows)
+        return Structure(self.domain, rels)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _value(self, term: Term, env: Mapping[Variable, object]) -> object:
+        if isinstance(term, Constant):
+            if term.value not in self.domain:
+                raise SolverError(
+                    f"constant {term.value!r} is not in the domain"
+                )
+            return term.value
+        if term in env:
+            return env[term]
+        raise SolverError(f"unbound variable {term} during evaluation")
+
+    def evaluate(
+        self, formula: Formula, env: Mapping[Variable, object] | None = None
+    ) -> bool:
+        """Decide whether the structure satisfies ``formula`` under ``env``."""
+        env = dict(env or {})
+        return self._eval(formula, env)
+
+    def _eval(self, formula: Formula, env: dict[Variable, object]) -> bool:
+        if isinstance(formula, Top):
+            return True
+        if isinstance(formula, Bottom):
+            return False
+        if isinstance(formula, Rel):
+            row = tuple(self._value(t, env) for t in formula.terms)
+            return row in self.tuples(formula.predicate)
+        if isinstance(formula, Eq):
+            return self._value(formula.left, env) == self._value(
+                formula.right, env
+            )
+        if isinstance(formula, Not):
+            return not self._eval(formula.operand, env)
+        if isinstance(formula, And):
+            return all(self._eval(f, env) for f in formula.operands)
+        if isinstance(formula, Or):
+            return any(self._eval(f, env) for f in formula.operands)
+        if isinstance(formula, Implies):
+            return (not self._eval(formula.antecedent, env)) or self._eval(
+                formula.consequent, env
+            )
+        if isinstance(formula, Iff):
+            return self._eval(formula.left, env) == self._eval(
+                formula.right, env
+            )
+        if isinstance(formula, Exists):
+            return self._eval_quantifier(formula.variables, formula.body, env, any)
+        if isinstance(formula, Forall):
+            return self._eval_quantifier(formula.variables, formula.body, env, all)
+        raise TypeError(f"unknown formula node: {formula!r}")
+
+    def _eval_quantifier(self, variables, body, env, combine) -> bool:
+        def assignments(index: int):
+            if index == len(variables):
+                yield None
+                return
+            var = variables[index]
+            saved = env.get(var, _MISSING)
+            for value in self.domain:
+                env[var] = value
+                yield from assignments(index + 1)
+            if saved is _MISSING:
+                env.pop(var, None)
+            else:
+                env[var] = saved
+
+        return combine(self._eval(body, env) for _ in assignments(0))
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{name}({len(rows)})" for name, rows in sorted(self.relations.items())
+        )
+        return f"Structure(|D|={len(self.domain)}; {rels})"
+
+
+_MISSING = object()

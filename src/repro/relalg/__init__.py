@@ -1,0 +1,80 @@
+"""Relational-model substrate.
+
+This subpackage implements the classical relational model that the
+paper's transducers operate over: value domains, relation schemas,
+instances, the relational algebra, and dependency theory (functional and
+inclusion dependencies plus the chase).  It is self-contained and has no
+dependencies on the rest of the library.
+"""
+
+from repro.relalg.domain import LabeledNull, active_domain, fresh_null, is_null
+from repro.relalg.schema import DatabaseSchema, RelationSchema
+from repro.relalg.instance import Instance
+from repro.relalg.algebra import (
+    difference,
+    intersection,
+    natural_join,
+    product,
+    project,
+    select,
+    union,
+)
+from repro.relalg.expressions import (
+    Difference,
+    Expression,
+    Join,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Union,
+)
+from repro.relalg.dependencies import (
+    Dependency,
+    FunctionalDependency,
+    InclusionDependency,
+    violations_fd,
+    violations_ind,
+)
+from repro.relalg.chase import (
+    ChaseResult,
+    chase,
+    fd_closure,
+    implies_fd,
+    implies_mixed,
+)
+
+__all__ = [
+    "LabeledNull",
+    "active_domain",
+    "fresh_null",
+    "is_null",
+    "DatabaseSchema",
+    "RelationSchema",
+    "Instance",
+    "select",
+    "project",
+    "natural_join",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "Expression",
+    "RelationRef",
+    "Selection",
+    "Projection",
+    "Join",
+    "Product",
+    "Union",
+    "Difference",
+    "Dependency",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "violations_fd",
+    "violations_ind",
+    "ChaseResult",
+    "chase",
+    "fd_closure",
+    "implies_fd",
+    "implies_mixed",
+]

@@ -1,0 +1,126 @@
+"""Relational algebra over plain sets of tuples.
+
+These are the workhorse operations the datalog evaluator is built on.
+They operate on ``frozenset``/``set`` of tuples, positionally (attribute
+names are a display concern only).  All functions return new frozensets;
+inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import EvaluationError
+
+Rows = Iterable[tuple]
+
+
+def select(rows: Rows, predicate: Callable[[tuple], bool]) -> frozenset[tuple]:
+    """Keep the tuples satisfying ``predicate``."""
+    return frozenset(row for row in rows if predicate(row))
+
+
+def select_eq(rows: Rows, position: int, value: object) -> frozenset[tuple]:
+    """Selection sigma_{position = value}."""
+    return frozenset(row for row in rows if row[position] == value)
+
+
+def select_eq_cols(rows: Rows, left: int, right: int) -> frozenset[tuple]:
+    """Selection sigma_{left = right} (two columns of the same relation)."""
+    return frozenset(row for row in rows if row[left] == row[right])
+
+
+def project(rows: Rows, positions: Sequence[int]) -> frozenset[tuple]:
+    """Projection pi_{positions} (may duplicate or reorder columns)."""
+    positions = tuple(positions)
+    return frozenset(tuple(row[p] for p in positions) for row in rows)
+
+
+def product(left: Rows, right: Rows) -> frozenset[tuple]:
+    """Cartesian product; tuples are concatenated."""
+    right_rows = list(right)
+    return frozenset(l + r for l in left for r in right_rows)
+
+
+def natural_join(
+    left: Rows, right: Rows, pairs: Sequence[tuple[int, int]]
+) -> frozenset[tuple]:
+    """Equi-join on the given (left-position, right-position) pairs.
+
+    The result concatenates the full left tuple with the full right
+    tuple; callers project afterwards.  A hash join is used: the right
+    side is indexed on its join key.
+    """
+    pairs = tuple(pairs)
+    if not pairs:
+        return product(left, right)
+    index: dict[tuple, list[tuple]] = {}
+    right_positions = tuple(rp for _, rp in pairs)
+    for row in right:
+        key = tuple(row[p] for p in right_positions)
+        index.setdefault(key, []).append(row)
+    left_positions = tuple(lp for lp, _ in pairs)
+    out = set()
+    for row in left:
+        key = tuple(row[p] for p in left_positions)
+        for match in index.get(key, ()):
+            out.add(row + match)
+    return frozenset(out)
+
+
+def semijoin(
+    left: Rows, right: Rows, pairs: Sequence[tuple[int, int]]
+) -> frozenset[tuple]:
+    """Left semijoin: left tuples with at least one right match."""
+    right_positions = tuple(rp for _, rp in pairs)
+    keys = {tuple(row[p] for p in right_positions) for row in right}
+    left_positions = tuple(lp for lp, _ in pairs)
+    return frozenset(
+        row for row in left if tuple(row[p] for p in left_positions) in keys
+    )
+
+
+def antijoin(
+    left: Rows, right: Rows, pairs: Sequence[tuple[int, int]]
+) -> frozenset[tuple]:
+    """Left antijoin: left tuples with no right match (for NOT literals)."""
+    right_positions = tuple(rp for _, rp in pairs)
+    keys = {tuple(row[p] for p in right_positions) for row in right}
+    left_positions = tuple(lp for lp, _ in pairs)
+    return frozenset(
+        row for row in left if tuple(row[p] for p in left_positions) not in keys
+    )
+
+
+def union(left: Rows, right: Rows) -> frozenset[tuple]:
+    """Set union; arities must agree (checked on non-empty inputs)."""
+    left = frozenset(left)
+    right = frozenset(right)
+    _check_union_arity(left, right)
+    return left | right
+
+
+def difference(left: Rows, right: Rows) -> frozenset[tuple]:
+    """Set difference left - right."""
+    left = frozenset(left)
+    right = frozenset(right)
+    _check_union_arity(left, right)
+    return left - right
+
+
+def intersection(left: Rows, right: Rows) -> frozenset[tuple]:
+    """Set intersection."""
+    left = frozenset(left)
+    right = frozenset(right)
+    _check_union_arity(left, right)
+    return left & right
+
+
+def _check_union_arity(left: frozenset[tuple], right: frozenset[tuple]) -> None:
+    if left and right:
+        la = len(next(iter(left)))
+        ra = len(next(iter(right)))
+        if la != ra:
+            raise EvaluationError(
+                f"arity mismatch in set operation: {la} vs {ra}"
+            )

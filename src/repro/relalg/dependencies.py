@@ -1,0 +1,137 @@
+"""Functional and inclusion dependencies.
+
+These are the dependency classes used by the paper's undecidability
+reductions (Proposition 3.1 and Theorem 3.4 reduce log validity and
+transducer containment to the implication problem for FDs + IncDs, which
+is undecidable by Chandra-Vardi / Mitchell).  Positions are 0-based here;
+the paper writes them 1-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.relalg.instance import Instance
+
+
+class Dependency:
+    """Marker base class for dependencies over a single relation schema."""
+
+    relation: str
+
+    def holds_in(self, instance: Instance) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency(Dependency):
+    """An FD ``lhs -> rhs`` over relation ``relation`` (0-based positions).
+
+    ``13 -> 2`` in the paper's 1-based notation is
+    ``FunctionalDependency("R", (0, 2), 1)`` here.
+    """
+
+    relation: str
+    lhs: tuple[int, ...]
+    rhs: int
+
+    def __post_init__(self) -> None:
+        if len(set(self.lhs)) != len(self.lhs):
+            raise SchemaError(f"FD lhs has duplicate positions: {self.lhs}")
+
+    def __str__(self) -> str:
+        lhs = "".join(str(p + 1) for p in self.lhs)
+        return f"{self.relation}: {lhs} -> {self.rhs + 1}"
+
+    def holds_in(self, instance: Instance) -> bool:
+        return not violations_fd(instance[self.relation], self)
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Dependency):
+    """An IncD ``relation[lhs] ⊆ target[rhs]`` (0-based position sequences).
+
+    The paper's single-relation form ``i1..im ⊆ j1..jm`` over R is
+    ``InclusionDependency("R", (i...), "R", (j...))``; the two-relation
+    general form is supported as well (used by the chase tests).
+    """
+
+    relation: str
+    lhs: tuple[int, ...]
+    target: str
+    rhs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lhs) != len(self.rhs):
+            raise SchemaError(
+                f"IncD sides have different widths: {self.lhs} vs {self.rhs}"
+            )
+
+    def __str__(self) -> str:
+        lhs = "".join(str(p + 1) for p in self.lhs)
+        rhs = "".join(str(p + 1) for p in self.rhs)
+        if self.relation == self.target:
+            return f"{self.relation}: {lhs} ⊆ {rhs}"
+        return f"{self.relation}[{lhs}] ⊆ {self.target}[{rhs}]"
+
+    def holds_in(self, instance: Instance) -> bool:
+        return not violations_ind(
+            instance[self.relation], instance[self.target], self
+        )
+
+
+def violations_fd(
+    rows: Iterable[tuple], fd: FunctionalDependency
+) -> list[tuple[tuple, tuple]]:
+    """Return the pairs of tuples violating ``fd`` (empty when it holds)."""
+    witness: dict[tuple, dict[object, tuple]] = {}
+    violations: list[tuple[tuple, tuple]] = []
+    for row in sorted(rows, key=repr):
+        key = tuple(row[p] for p in fd.lhs)
+        seen = witness.setdefault(key, {})
+        for value, other in seen.items():
+            if value != row[fd.rhs]:
+                violations.append((other, row))
+        seen.setdefault(row[fd.rhs], row)
+    return violations
+
+
+def violations_ind(
+    rows: Iterable[tuple],
+    target_rows: Iterable[tuple],
+    ind: InclusionDependency,
+) -> list[tuple]:
+    """Return the tuples of ``rows`` violating ``ind`` (empty when it holds)."""
+    available = {tuple(row[p] for p in ind.rhs) for row in target_rows}
+    return [
+        row
+        for row in sorted(rows, key=repr)
+        if tuple(row[p] for p in ind.lhs) not in available
+    ]
+
+
+def all_hold(instance: Instance, deps: Sequence[Dependency]) -> bool:
+    """True if every dependency in ``deps`` holds in ``instance``."""
+    return all(dep.holds_in(instance) for dep in deps)
+
+
+def parse_fd(relation: str, text: str) -> FunctionalDependency:
+    """Parse the paper's compact 1-based FD notation, e.g. ``"13->2"``."""
+    if "->" not in text:
+        raise SchemaError(f"not an FD: {text!r}")
+    lhs_text, rhs_text = text.split("->", 1)
+    lhs = tuple(int(ch) - 1 for ch in lhs_text.strip())
+    rhs = int(rhs_text.strip()) - 1
+    return FunctionalDependency(relation, lhs, rhs)
+
+
+def parse_ind(relation: str, text: str) -> InclusionDependency:
+    """Parse the paper's compact 1-based IncD notation, e.g. ``"1<=2"``."""
+    if "<=" not in text:
+        raise SchemaError(f"not an IncD: {text!r}")
+    lhs_text, rhs_text = text.split("<=", 1)
+    lhs = tuple(int(ch) - 1 for ch in lhs_text.strip())
+    rhs = tuple(int(ch) - 1 for ch in rhs_text.strip())
+    return InclusionDependency(relation, lhs, relation, rhs)

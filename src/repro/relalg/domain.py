@@ -1,0 +1,88 @@
+"""Value domains for the relational model.
+
+Values in this library are plain hashable Python objects (typically
+``str`` or ``int``), interpreted under the *unique-name assumption*:
+distinct Python values denote distinct domain elements.  The chase
+additionally needs *labeled nulls* -- placeholder values that may later be
+identified with constants or with each other; these are represented by
+the :class:`LabeledNull` class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+Value = object  # any hashable Python object under the unique-name assumption
+
+_null_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, eq=True)
+class LabeledNull:
+    """A labeled null (fresh placeholder value) used by the chase.
+
+    Two labeled nulls are equal iff they carry the same label.  Labels are
+    allocated by :func:`fresh_null` and never collide with constants.
+    """
+
+    label: int
+
+    def __repr__(self) -> str:
+        return f"_N{self.label}"
+
+
+def fresh_null() -> LabeledNull:
+    """Return a labeled null with a globally fresh label."""
+    return LabeledNull(next(_null_counter))
+
+
+def is_null(value: Value) -> bool:
+    """Return True if ``value`` is a labeled null."""
+    return isinstance(value, LabeledNull)
+
+
+def active_domain(tuples: Iterable[tuple]) -> set:
+    """Return the set of all values occurring in ``tuples``.
+
+    This is the *active domain* in the database-theory sense: the values
+    that actually appear in an instance, as opposed to the (possibly
+    infinite) underlying domain.
+    """
+    domain: set = set()
+    for row in tuples:
+        domain.update(row)
+    return domain
+
+
+@dataclass
+class FreshValueFactory:
+    """Deterministic generator of fresh constants avoiding a given set.
+
+    Useful in tests and in the BSR decision procedure, where we must
+    extend the active domain by k fresh elements whose identity is
+    reproducible across runs (unlike :func:`fresh_null`).
+    """
+
+    avoid: set = field(default_factory=set)
+    prefix: str = "fresh"
+    _next: int = 0
+
+    def __call__(self) -> str:
+        while True:
+            candidate = f"{self.prefix}#{self._next}"
+            self._next += 1
+            if candidate not in self.avoid:
+                self.avoid.add(candidate)
+                return candidate
+
+    def take(self, count: int) -> list[str]:
+        """Return ``count`` fresh constants."""
+        return [self() for _ in range(count)]
+
+
+def enumerate_values(base: str = "v") -> Iterator[str]:
+    """Yield an unbounded stream of distinct constants v0, v1, ..."""
+    for i in itertools.count():
+        yield f"{base}{i}"

@@ -1,0 +1,199 @@
+"""Relational algebra expression trees.
+
+A small composable expression language over
+:class:`~repro.relalg.instance.Instance`.  This gives the library a
+query-plan layer: the datalog evaluator compiles rule bodies into these
+expressions, and tests can assert algebraic identities on them
+(property-based tests exercise e.g. join commutativity up to column
+permutation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import EvaluationError
+from repro.relalg import algebra
+from repro.relalg.instance import Instance
+
+
+class Expression:
+    """Base class for algebra expressions.
+
+    Subclasses implement :meth:`evaluate` (to a frozenset of tuples) and
+    :meth:`arity` (the width of result tuples, or ``None`` when it cannot
+    be determined statically, e.g. raw selections over unknowns).
+    """
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        raise NotImplementedError
+
+    def arity(self) -> int | None:
+        raise NotImplementedError
+
+    # Convenience combinators ------------------------------------------------
+
+    def where(self, predicate: Callable[[tuple], bool]) -> "Selection":
+        return Selection(self, predicate)
+
+    def project(self, positions: Sequence[int]) -> "Projection":
+        return Projection(self, tuple(positions))
+
+    def join(self, other: "Expression", pairs: Sequence[tuple[int, int]]) -> "Join":
+        return Join(self, other, tuple(pairs))
+
+    def union(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Expression") -> "Difference":
+        return Difference(self, other)
+
+    def product(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+
+@dataclass(frozen=True)
+class RelationRef(Expression):
+    """A reference to a named relation of the instance."""
+
+    name: str
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return instance[self.name]
+
+    def arity(self) -> int | None:
+        return None  # depends on the instance's schema
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant relation (inline set of tuples)."""
+
+    rows: frozenset[tuple]
+    width: int
+
+    @classmethod
+    def of(cls, rows: Sequence[tuple], width: int | None = None) -> "Literal":
+        rows = frozenset(tuple(r) for r in rows)
+        if width is None:
+            if not rows:
+                raise EvaluationError("width required for empty literal")
+            width = len(next(iter(rows)))
+        for r in rows:
+            if len(r) != width:
+                raise EvaluationError("ragged literal relation")
+        return cls(rows, width)
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return self.rows
+
+    def arity(self) -> int | None:
+        return self.width
+
+
+@dataclass(frozen=True)
+class Selection(Expression):
+    source: Expression
+    predicate: Callable[[tuple], bool]
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.select(self.source.evaluate(instance), self.predicate)
+
+    def arity(self) -> int | None:
+        return self.source.arity()
+
+
+@dataclass(frozen=True)
+class Projection(Expression):
+    source: Expression
+    positions: tuple[int, ...]
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.project(self.source.evaluate(instance), self.positions)
+
+    def arity(self) -> int | None:
+        return len(self.positions)
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    left: Expression
+    right: Expression
+    pairs: tuple[tuple[int, int], ...]
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.natural_join(
+            self.left.evaluate(instance), self.right.evaluate(instance), self.pairs
+        )
+
+    def arity(self) -> int | None:
+        la, ra = self.left.arity(), self.right.arity()
+        if la is None or ra is None:
+            return None
+        return la + ra
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.product(
+            self.left.evaluate(instance), self.right.evaluate(instance)
+        )
+
+    def arity(self) -> int | None:
+        la, ra = self.left.arity(), self.right.arity()
+        if la is None or ra is None:
+            return None
+        return la + ra
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.union(
+            self.left.evaluate(instance), self.right.evaluate(instance)
+        )
+
+    def arity(self) -> int | None:
+        return self.left.arity() or self.right.arity()
+
+
+@dataclass(frozen=True)
+class Difference(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.difference(
+            self.left.evaluate(instance), self.right.evaluate(instance)
+        )
+
+    def arity(self) -> int | None:
+        return self.left.arity() or self.right.arity()
+
+
+@dataclass(frozen=True)
+class AntiJoin(Expression):
+    """Left tuples with no matching right tuple (compiles NOT literals)."""
+
+    left: Expression
+    right: Expression
+    pairs: tuple[tuple[int, int], ...]
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return algebra.antijoin(
+            self.left.evaluate(instance), self.right.evaluate(instance), self.pairs
+        )
+
+    def arity(self) -> int | None:
+        return self.left.arity()

@@ -1,0 +1,58 @@
+"""Verification of relational transducers.
+
+Every decidable question in the paper reduces to finite satisfiability
+of a Bernays-Schoenfinkel sentence over a schema that replicates the
+input relations once per run step.  :mod:`repro.verify.encoder` holds
+that shared reduction; the sibling modules implement the individual
+decision procedures:
+
+* :mod:`repro.verify.logvalidity` -- Theorem 3.1 (log validation);
+* :mod:`repro.verify.reachability` -- Theorem 3.2 (goal reachability
+  and the partial-run variant / progress);
+* :mod:`repro.verify.temporal` -- Theorem 3.3 (T_past-input properties);
+* :mod:`repro.verify.containment` -- Theorem 3.5 and Corollary 3.6
+  (customization containment and equivalence);
+* :mod:`repro.verify.errorfree` -- Theorems 4.4 and 4.6 (properties and
+  containment of error-free runs);
+* :mod:`repro.verify.tsdi` -- Theorem 4.1 (compiling Tsdi input
+  disciplines into error rules);
+* :mod:`repro.verify.undecidable` -- the reductions of Proposition 3.1
+  and Theorem 3.4 (executable undecidability constructions).
+"""
+
+from repro.verify.encoder import RunEncoder, decode_input_sequence
+from repro.verify.logvalidity import LogValidityResult, is_valid_log
+from repro.verify.reachability import Goal, ReachabilityResult, is_goal_reachable
+from repro.verify.temporal import TemporalVerdict, holds_on_all_runs
+from repro.verify.containment import (
+    ContainmentVerdict,
+    are_log_equivalent,
+    log_contains,
+)
+from repro.verify.errorfree import (
+    errorfree_contains,
+    holds_on_error_free_runs,
+)
+from repro.verify.tsdi import TsdiConjunct, TsdiSentence, compile_tsdi, enforce_tsdi, satisfies_tsdi
+
+__all__ = [
+    "RunEncoder",
+    "decode_input_sequence",
+    "is_valid_log",
+    "LogValidityResult",
+    "Goal",
+    "is_goal_reachable",
+    "ReachabilityResult",
+    "holds_on_all_runs",
+    "TemporalVerdict",
+    "log_contains",
+    "are_log_equivalent",
+    "ContainmentVerdict",
+    "holds_on_error_free_runs",
+    "errorfree_contains",
+    "TsdiConjunct",
+    "TsdiSentence",
+    "compile_tsdi",
+    "enforce_tsdi",
+    "satisfies_tsdi",
+]

@@ -1,0 +1,262 @@
+"""The Tsdi property language and its compiler to error rules (Thm 4.1).
+
+Tsdi sentences (Section 4.1) are conjunctions of implications
+
+    ∀x̄ [ φ(state, db, in)(x̄) → ψ(state, db, in)(x̄) ]
+
+where φ is a conjunction of literals with every variable occurring in a
+positive literal, and ψ is a quantifier-free *positive* formula.  They
+express input disciplines such as "pay(x,y) requires price(x,y) and a
+prior order(x)".
+
+Theorem 4.1: for every Tsdi sentence there is a Spocus transducer whose
+error-free runs are exactly the input sequences satisfying it.  The
+compilation is the proof's: put ψ in conjunctive normal form; for each
+clause L₁ ∨ … ∨ L_m emit
+
+    error :- φ, NOT L₁, ..., NOT L_m .
+
+This module provides the sentence representation, the compiler, an
+enforcement helper that grafts the rules onto an existing transducer,
+and an operational satisfaction checker used to validate the theorem on
+concrete runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.spocus import PAST_PREFIX, SpocusTransducer
+from repro.core.run import Run
+from repro.datalog.ast import (
+    Atom,
+    Inequality,
+    Literal,
+    NegatedAtom,
+    PositiveAtom,
+    Rule,
+    Variable,
+)
+from repro.datalog.parser import parse_program
+from repro.errors import VerificationError
+from repro.logic.fol import And, Bottom, Eq, Formula, Not, Or, Rel, Top, conjoin
+from repro.logic.fol import forall as fol_forall
+from repro.logic.structures import Structure
+from repro.relalg.instance import Instance
+
+
+@dataclass(frozen=True)
+class TsdiConjunct:
+    """One implication ∀x̄ (φ → ψ).
+
+    ``antecedent`` is a tuple of datalog literals over state/db/input
+    relations (φ); ``consequent`` is a positive quantifier-free formula
+    over the same relations (ψ), built from :class:`Rel`, ``And`` and
+    ``Or`` (``Top`` and ``Bottom`` allowed).
+    """
+
+    antecedent: tuple[Literal, ...]
+    consequent: Formula
+
+    def __post_init__(self) -> None:
+        positive_vars: set[Variable] = set()
+        for literal in self.antecedent:
+            if isinstance(literal, PositiveAtom):
+                positive_vars.update(literal.variables())
+        all_vars: set[Variable] = set()
+        for literal in self.antecedent:
+            all_vars.update(literal.variables())
+        unbound = all_vars - positive_vars
+        if unbound:
+            raise VerificationError(
+                f"Tsdi antecedent variables not positively bound: "
+                f"{sorted(v.name for v in unbound)}"
+            )
+        consequent_vars = self.consequent.free_variables()
+        if not consequent_vars <= positive_vars:
+            raise VerificationError(
+                "Tsdi consequent variables must occur positively in the "
+                f"antecedent; stray: "
+                f"{sorted(v.name for v in consequent_vars - positive_vars)}"
+            )
+        _require_positive(self.consequent)
+
+    @classmethod
+    def parse(cls, antecedent: str, consequent: str) -> "TsdiConjunct":
+        """Build a conjunct from rule-body syntax.
+
+        ``antecedent`` is a comma-separated literal list; ``consequent``
+        is a semicolon-free formula where ``,`` means AND and ``|``
+        means OR over atoms, e.g. ``"pay(X,Y) | cancel(X)"``.
+        """
+        body_rule = parse_program(f"__head :- {antecedent}").rules[0]
+        return cls(body_rule.body, _parse_positive(consequent))
+
+
+def _parse_positive(text: str) -> Formula:
+    """Parse a positive formula: atoms with ``,``=AND (binds loosest after
+    ``|``=OR); no parentheses needed for the paper's examples."""
+    disjunct_texts = [t.strip() for t in text.split("|")]
+    disjuncts: list[Formula] = []
+    for chunk in disjunct_texts:
+        atom_rules = parse_program(f"__head :- {chunk}").rules[0]
+        atoms: list[Formula] = []
+        for literal in atom_rules.body:
+            if not isinstance(literal, PositiveAtom):
+                raise VerificationError(
+                    f"Tsdi consequents are positive; bad literal {literal}"
+                )
+            atoms.append(Rel(literal.atom.predicate, literal.atom.terms))
+        disjuncts.append(conjoin(atoms))
+    from repro.logic.fol import disjoin
+
+    return disjoin(disjuncts)
+
+
+def _require_positive(formula: Formula) -> None:
+    if isinstance(formula, (Rel, Top, Bottom)):
+        return
+    if isinstance(formula, (And, Or)):
+        for f in formula.operands:
+            _require_positive(f)
+        return
+    raise VerificationError(
+        f"Tsdi consequent must be positive (Rel/And/Or): got {formula!r}"
+    )
+
+
+@dataclass(frozen=True)
+class TsdiSentence:
+    """A conjunction of Tsdi implications."""
+
+    conjuncts: tuple[TsdiConjunct, ...]
+
+    @classmethod
+    def of(cls, *conjuncts: TsdiConjunct) -> "TsdiSentence":
+        return cls(tuple(conjuncts))
+
+
+def _cnf_clauses(formula: Formula) -> list[list[Rel]]:
+    """CNF of a positive formula as a list of atom clauses.
+
+    ``[]`` means ⊤ (no clauses); a clause ``[]`` inside means ⊥.
+    Distribution can explode, but Tsdi consequents are tiny in practice.
+    """
+    if isinstance(formula, Top):
+        return []
+    if isinstance(formula, Bottom):
+        return [[]]
+    if isinstance(formula, Rel):
+        return [[formula]]
+    if isinstance(formula, And):
+        clauses: list[list[Rel]] = []
+        for operand in formula.operands:
+            clauses.extend(_cnf_clauses(operand))
+        return clauses
+    if isinstance(formula, Or):
+        parts = [_cnf_clauses(op) for op in formula.operands]
+        result: list[list[Rel]] = [[]]
+        for clause_set in parts:
+            if not clause_set:  # ⊤ absorbs the disjunction
+                return []
+            result = [
+                existing + new
+                for existing in result
+                for new in clause_set
+            ]
+        return result
+    raise VerificationError(f"not a positive formula: {formula!r}")
+
+
+def compile_tsdi(sentence: TsdiSentence) -> list[Rule]:
+    """Compile a Tsdi sentence into Spocus ``error`` rules (Theorem 4.1)."""
+    rules: list[Rule] = []
+    error_head = Atom("error", ())
+    for conjunct in sentence.conjuncts:
+        for clause in _cnf_clauses(conjunct.consequent):
+            body: list[Literal] = list(conjunct.antecedent)
+            for atom_formula in clause:
+                body.append(
+                    NegatedAtom(
+                        Atom(atom_formula.predicate, atom_formula.terms)
+                    )
+                )
+            rules.append(Rule(error_head, tuple(body)))
+    return rules
+
+
+def enforce_tsdi(
+    transducer: SpocusTransducer, sentence: TsdiSentence
+) -> SpocusTransducer:
+    """Return ``transducer`` extended with the compiled error rules.
+
+    The result's error-free runs are exactly the runs of ``transducer``
+    whose input sequences satisfy ``sentence`` (Theorem 4.1).
+    """
+    from repro.datalog.ast import Program
+
+    rules = compile_tsdi(sentence)
+    extra_outputs = (
+        {} if "error" in transducer.schema.outputs else {"error": 0}
+    )
+    return transducer.with_extra_rules(
+        Program(tuple(rules)), extra_outputs=extra_outputs
+    )
+
+
+def _literal_formula(literal: Literal) -> Formula:
+    if isinstance(literal, PositiveAtom):
+        return Rel(literal.atom.predicate, literal.atom.terms)
+    if isinstance(literal, NegatedAtom):
+        return Not(Rel(literal.atom.predicate, literal.atom.terms))
+    if isinstance(literal, Inequality):
+        return Not(Eq(literal.left, literal.right))
+    raise VerificationError(f"unknown literal: {literal!r}")
+
+
+def conjunct_formula(conjunct: TsdiConjunct) -> Formula:
+    """The conjunct as a closed FO formula ∀x̄ (φ → ψ)."""
+    antecedent = conjoin(_literal_formula(l) for l in conjunct.antecedent)
+    from repro.logic.fol import Implies
+
+    body = Implies(antecedent, conjunct.consequent)
+    return fol_forall(sorted(body.free_variables(), key=str), body)
+
+
+def satisfies_tsdi(
+    transducer: SpocusTransducer,
+    run: Run,
+    sentence: TsdiSentence,
+    database: dict | Instance,
+) -> bool:
+    """Operationally check a Tsdi sentence on a run.
+
+    The sentence must hold at every transition, evaluated over the
+    transition's input, the state *before* it, and the database --
+    matching the evaluation context of the compiled error rules.
+    """
+    db = transducer.coerce_database(database)
+    formulas = [conjunct_formula(c) for c in sentence.conjuncts]
+    for index in range(len(run.inputs)):
+        relations: dict[str, set[tuple]] = {}
+        for rel in transducer.schema.database:
+            relations[rel.name] = set(db[rel.name])
+        for rel in transducer.schema.inputs:
+            relations[rel.name] = set(run.inputs[index][rel.name])
+            earlier: set[tuple] = set()
+            for j in range(index):
+                earlier |= set(run.inputs[j][rel.name])
+            relations[PAST_PREFIX + rel.name] = earlier
+        domain: set = set()
+        for rows in relations.values():
+            for row in rows:
+                domain.update(row)
+        for formula in formulas:
+            domain |= set(formula.constants())
+        if not domain:
+            domain = {"@default"}
+        structure = Structure.of(domain, relations)
+        if not all(structure.evaluate(f) for f in formulas):
+            return False
+    return True

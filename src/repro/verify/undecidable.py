@@ -1,0 +1,380 @@
+"""Executable undecidability constructions (Prop 3.1 and Theorem 3.4).
+
+Undecidability proofs cannot be "run", but their *reductions* can.  This
+module implements both reductions from the implication problem for
+functional + inclusion dependencies (undecidable by Chandra-Vardi 1985
+and Mitchell 1983):
+
+* :func:`projection_reduction` -- Proposition 3.1: a transducer with
+  projection state rules whose log ``(∅, {violG})`` is valid iff
+  F ⊭ G;
+* :func:`containment_reduction` -- Theorem 3.4: a pair (T_{F,G}, T) of
+  genuine Spocus transducers with T_{F,G} ⊑ T iff F ⊨ G.
+
+The experiment harness validates the reductions on instances where
+implication is decidable by independent means (FD-only sets via
+Armstrong closure, mixed sets with terminating chase).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.spocus import ExtendedStateTransducer, SpocusTransducer
+from repro.datalog.ast import (
+    Atom,
+    Inequality,
+    Literal,
+    NegatedAtom,
+    PositiveAtom,
+    Program,
+    Rule,
+    Variable,
+)
+from repro.errors import VerificationError
+from repro.relalg.dependencies import (
+    Dependency,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relalg.instance import Instance
+from repro.relalg.schema import DatabaseSchema, RelationSchema
+
+RELATION = "R"
+
+
+def _vars(prefix: str, count: int) -> tuple[Variable, ...]:
+    return tuple(Variable(f"{prefix.upper()}{i}") for i in range(count))
+
+
+def _projection_name(positions: Sequence[int]) -> str:
+    return RELATION + "".join(str(p + 1) for p in positions)
+
+
+def _incd_projections(deps: Iterable[Dependency]) -> list[tuple[int, ...]]:
+    """The distinct rhs position tuples of the IncDs in ``deps``."""
+    seen: dict[tuple[int, ...], None] = {}
+    for dep in deps:
+        if isinstance(dep, InclusionDependency):
+            if dep.relation != RELATION or dep.target != RELATION:
+                raise VerificationError(
+                    "the reductions use a single relation R"
+                )
+            seen.setdefault(tuple(dep.rhs))
+    return list(seen)
+
+
+def _violation_rules(
+    head: str,
+    deps: Sequence[Dependency],
+    arity: int,
+    past_projection: bool,
+) -> list[Rule]:
+    """Rules deriving ``head`` when some dependency in ``deps`` fails.
+
+    ``past_projection`` selects the naming convention for the stored
+    projections: Proposition 3.1 stores projections in state relations
+    ``past-Rj…`` computed by projection rules, while Theorem 3.4 stores
+    *input* relations ``Rj…`` whose cumulative state is ``past-Rj…``
+    (same state name; the flag is kept for documentation value).
+    """
+    del past_projection
+    rules: list[Rule] = []
+    head_atom = Atom(head, ())
+    xs = _vars("x", arity)
+    ys = _vars("y", arity)
+    for dep in deps:
+        if isinstance(dep, FunctionalDependency):
+            # Two past tuples agreeing on lhs, differing on rhs.  The
+            # agreement is expressed by sharing variables.
+            second = list(ys)
+            for position in dep.lhs:
+                second[position] = xs[position]
+            body: list[Literal] = [
+                PositiveAtom(Atom("past-" + RELATION, xs)),
+                PositiveAtom(Atom("past-" + RELATION, tuple(second))),
+                Inequality(xs[dep.rhs], second[dep.rhs]),
+            ]
+            rules.append(Rule(head_atom, tuple(body)))
+        elif isinstance(dep, InclusionDependency):
+            projection = "past-" + _projection_name(dep.rhs)
+            body = [
+                PositiveAtom(Atom("past-" + RELATION, xs)),
+                NegatedAtom(
+                    Atom(projection, tuple(xs[i] for i in dep.lhs))
+                ),
+            ]
+            rules.append(Rule(head_atom, tuple(body)))
+        else:
+            raise VerificationError(f"unsupported dependency: {dep!r}")
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Proposition 3.1: log validity with projection state rules
+# ---------------------------------------------------------------------------
+
+
+def projection_reduction(
+    arity: int,
+    f_deps: Sequence[Dependency],
+    g_deps: Sequence[Dependency],
+) -> ExtendedStateTransducer:
+    """The Proposition 3.1 transducer for dependency sets F and G.
+
+    Input ``R``; state ``past-R`` plus one projection relation per IncD
+    right-hand side; outputs (and log) ``violF``/``violG``.  The log
+    ``(∅, {violG})`` is valid iff F does not imply G.
+    """
+    projections = _incd_projections(list(f_deps) + list(g_deps))
+    xs = _vars("x", arity)
+
+    state_relations = [RelationSchema("past-" + RELATION, arity)]
+    state_rules = [
+        Rule(Atom("past-" + RELATION, xs), (PositiveAtom(Atom(RELATION, xs)),),
+             cumulative=True)
+    ]
+    for positions in projections:
+        name = "past-" + _projection_name(positions)
+        state_relations.append(RelationSchema(name, len(positions)))
+        state_rules.append(
+            Rule(
+                Atom(name, tuple(xs[j] for j in positions)),
+                (PositiveAtom(Atom(RELATION, xs)),),
+                cumulative=True,
+            )
+        )
+
+    output_rules = _violation_rules("violF", f_deps, arity, True)
+    output_rules += _violation_rules("violG", g_deps, arity, True)
+
+    return ExtendedStateTransducer(
+        inputs=DatabaseSchema([RelationSchema(RELATION, arity)]),
+        state=DatabaseSchema(state_relations),
+        outputs=DatabaseSchema.of(violF=0, violG=0),
+        database=DatabaseSchema(()),
+        state_program=Program(tuple(state_rules)),
+        output_program=Program(tuple(output_rules)),
+        log=("violF", "violG"),
+    )
+
+
+def proposition_31_log_valid(
+    transducer: ExtendedStateTransducer,
+    arity: int,
+    domain_size: int = 3,
+    max_tuples: int = 3,
+) -> tuple[bool, list[tuple] | None]:
+    """Bounded search: is the log ``(∅, {violG})`` valid?
+
+    Enumerates instances of R over a bounded domain, runs the transducer
+    on (I, ∅), and tests whether the produced log is exactly
+    ``(∅, {violG})``.  Exact within the bounds; the general question is
+    undecidable (that is the proposition's point).
+    """
+    domain = [f"a{i}" for i in range(domain_size)]
+    pool = [tuple(v) for v in itertools.product(domain, repeat=arity)]
+    for count in range(1, max_tuples + 1):
+        for rows in itertools.combinations(pool, count):
+            run = transducer.run({}, [{RELATION: set(rows)}, {}])
+            logs = run.logs
+            first_ok = all(not logs[0][n] for n in ("violF", "violG"))
+            second_ok = (
+                not logs[1]["violF"] and logs[1]["violG"] == frozenset({()})
+            )
+            if first_ok and second_ok:
+                return True, list(rows)
+    return False, None
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.4: containment of genuine Spocus transducers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContainmentReduction:
+    """The two transducers of the Theorem 3.4 reduction."""
+
+    t_fg: SpocusTransducer
+    simulator: SpocusTransducer
+    arity: int
+    projections: list[tuple[int, ...]]
+
+
+def containment_reduction(
+    arity: int,
+    f_deps: Sequence[Dependency],
+    g_deps: Sequence[Dependency],
+) -> ContainmentReduction:
+    """Build (T_{F,G}, T) with T_{F,G} ⊑ T iff F ⊨ G (Theorem 3.4)."""
+    projections = _incd_projections(list(f_deps) + list(g_deps))
+    xs = _vars("x", arity)
+    ys = _vars("y", arity)
+
+    inputs = [RelationSchema(RELATION, arity)]
+    for positions in projections:
+        inputs.append(RelationSchema(_projection_name(positions), len(positions)))
+    for i in range(arity):
+        inputs.append(RelationSchema(f"A{i + 1}", 1))
+
+    rules: list[Rule] = []
+    rules += _violation_rules("violF", f_deps, arity, False)
+    rules += _violation_rules("violG", g_deps, arity, False)
+
+    error_head = Atom("error", ())
+    # (1) each A_i holds at most one value per step
+    for i in range(arity):
+        rules.append(
+            Rule(
+                error_head,
+                (
+                    PositiveAtom(Atom(f"A{i + 1}", (xs[0],))),
+                    PositiveAtom(Atom(f"A{i + 1}", (ys[0],))),
+                    Inequality(xs[0], ys[0]),
+                ),
+            )
+        )
+    # (2) an R tuple's coordinates must be registered in the A_i
+    for i in range(arity):
+        rules.append(
+            Rule(
+                error_head,
+                (
+                    PositiveAtom(Atom(RELATION, xs)),
+                    NegatedAtom(Atom(f"A{i + 1}", (xs[i],))),
+                ),
+            )
+        )
+    # (3) registered coordinates must form an input R tuple
+    rules.append(
+        Rule(
+            error_head,
+            tuple(
+                PositiveAtom(Atom(f"A{i + 1}", (xs[i],)))
+                for i in range(arity)
+            )
+            + (NegatedAtom(Atom(RELATION, xs)),),
+        )
+    )
+    # (4) the projections of the R tuple must be input alongside it
+    for positions in projections:
+        rules.append(
+            Rule(
+                error_head,
+                (
+                    PositiveAtom(Atom(RELATION, xs)),
+                    NegatedAtom(
+                        Atom(
+                            _projection_name(positions),
+                            tuple(xs[j] for j in positions),
+                        )
+                    ),
+                ),
+            )
+        )
+    # (5) each projection relation holds at most one tuple per step
+    for positions in projections:
+        width = len(positions)
+        us = _vars("u", width)
+        vs = _vars("v", width)
+        for k in range(width):
+            rules.append(
+                Rule(
+                    error_head,
+                    (
+                        PositiveAtom(Atom(_projection_name(positions), us)),
+                        PositiveAtom(Atom(_projection_name(positions), vs)),
+                        Inequality(us[k], vs[k]),
+                    ),
+                )
+            )
+    # ok: every A_i non-empty this step
+    rules.append(
+        Rule(
+            Atom("ok", ()),
+            tuple(
+                PositiveAtom(Atom(f"A{i + 1}", (xs[i],)))
+                for i in range(arity)
+            ),
+        )
+    )
+
+    t_fg = SpocusTransducer(
+        DatabaseSchema(inputs),
+        DatabaseSchema.of(violF=0, violG=0, ok=0, error=0),
+        DatabaseSchema(()),
+        Program(tuple(rules)),
+        log=("violF", "violG", "ok", "error"),
+    )
+
+    simulator = SpocusTransducer(
+        DatabaseSchema.of(simF=0, simG=0, simGp=0, simerror=0, simnotok=0),
+        DatabaseSchema.of(violF=0, violG=0, ok=0, error=0),
+        DatabaseSchema(()),
+        """
+        violF :- simG;
+        violG :- simG;
+        violF :- simF;
+        error :- simerror;
+        violG :- past-simerror, simGp;
+        ok :- NOT simnotok;
+        violG :- past-simnotok, simGp;
+        """,
+        log=("violF", "violG", "ok", "error"),
+    )
+    return ContainmentReduction(t_fg, simulator, arity, projections)
+
+
+def wellformed_sequence(
+    reduction: ContainmentReduction, rows: Sequence[tuple]
+) -> list[dict[str, set[tuple]]]:
+    """The well-formed input sequence inserting ``rows`` one at a time.
+
+    Each step inputs one R tuple together with its projections and its
+    coordinates in the A_i registers; per the proof, well-formed runs
+    are exactly those where T_{F,G} outputs ``ok`` at every step and
+    never ``error``.  A final repeat of the last tuple is appended so
+    the violation rules (which read only the accumulated past) observe
+    the complete instance.
+    """
+    steps: list[dict[str, set[tuple]]] = []
+    for row in list(rows) + [rows[-1]] if rows else []:
+        step: dict[str, set[tuple]] = {RELATION: {tuple(row)}}
+        for positions in reduction.projections:
+            step[_projection_name(positions)] = {
+                tuple(row[j] for j in positions)
+            }
+        for i, value in enumerate(row):
+            step[f"A{i + 1}"] = {(value,)}
+        steps.append(step)
+    return steps
+
+
+def mimic_inputs_for_log(
+    logs: Sequence[Instance],
+) -> list[dict[str, set[tuple]]]:
+    """Inputs making the simulator T reproduce a well-formed T_{F,G} log.
+
+    Valid only when every step contains ``ok``, no ``error``, and
+    ``violG`` never appears without ``violF`` (the F ⊨ G pattern).
+    """
+    inputs: list[dict[str, set[tuple]]] = []
+    for entry in logs:
+        has_viol_f = bool(entry["violF"])
+        has_viol_g = bool(entry["violG"])
+        if not entry["ok"] or entry["error"]:
+            raise VerificationError("log is not well-formed")
+        if has_viol_g and not has_viol_f:
+            raise VerificationError(
+                "violG without violF: not mimicable on well-formed logs"
+            )
+        if has_viol_g:
+            inputs.append({"simG": {()}})
+        elif has_viol_f:
+            inputs.append({"simF": {()}})
+        else:
+            inputs.append({})
+    return inputs

@@ -1,0 +1,42 @@
+"""Shared fixtures: the paper's example transducers and catalog."""
+
+import pytest
+
+from repro.commerce.models import (
+    FIGURE1_INPUTS,
+    FIGURE2_INPUTS,
+    build_buggy_store,
+    build_friendly,
+    build_short,
+    default_database,
+)
+
+
+@pytest.fixture
+def short():
+    return build_short()
+
+
+@pytest.fixture
+def friendly():
+    return build_friendly()
+
+
+@pytest.fixture
+def buggy():
+    return build_buggy_store()
+
+
+@pytest.fixture
+def catalog_db():
+    return default_database()
+
+
+@pytest.fixture
+def figure1_inputs():
+    return FIGURE1_INPUTS
+
+
+@pytest.fixture
+def figure2_inputs():
+    return FIGURE2_INPUTS

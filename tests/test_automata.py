@@ -1,0 +1,276 @@
+"""Tests for the automata substrate and the Section 3.1 / Theorem 4.2 results."""
+
+import pytest
+
+from repro.automata import (
+    DFA,
+    NFA,
+    compile_tm,
+    concat,
+    from_words,
+    gen_words,
+    has_only_self_loop_cycles,
+    is_generable_language,
+    is_prefix_closed,
+    literal,
+    prefix_closure,
+    simulation_inputs,
+    star,
+    transducer_for_automaton,
+    union,
+)
+from repro.automata.propositional import build_abc_example, gen_automaton
+from repro.automata.turing import BLANK, NTM, word_writer_ntm
+from repro.core.acceptors import first_error_step, is_error_free
+
+
+def words(strings):
+    return {tuple(s) for s in strings}
+
+
+class TestNfaDfa:
+    def test_literal(self):
+        nfa = literal("ab")
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("abb")
+
+    def test_union(self):
+        nfa = union(literal("a"), literal("bb"))
+        assert nfa.accepts("a") and nfa.accepts("bb")
+        assert not nfa.accepts("b")
+
+    def test_concat_star(self):
+        nfa = concat(literal("a"), star(literal("b")), literal("c"))
+        for word in ("ac", "abc", "abbbc"):
+            assert nfa.accepts(word)
+        assert not nfa.accepts("bc")
+
+    def test_determinization_preserves_language(self):
+        nfa = concat(literal("a"), star(literal("b")), literal("c"))
+        dfa = nfa.to_dfa()
+        assert nfa.words_up_to(5) == dfa.words_up_to(5)
+
+    def test_minimize_preserves_language(self):
+        dfa = union(literal("ab"), literal("ab")).to_dfa()
+        minimal = dfa.minimize()
+        assert minimal.words_up_to(4) == dfa.words_up_to(4)
+
+    def test_trim_removes_dead_states(self):
+        dfa = DFA(
+            states={0, 1, 2},
+            alphabet={"a"},
+            transitions={(0, "a"): 1, (1, "a"): 2},
+            start=0,
+            accepting={1},
+        )
+        trimmed = dfa.trim()
+        assert 2 not in trimmed.states
+
+    def test_product_intersection(self):
+        left = star(literal("a")).to_dfa()
+        right = union(literal("a"), literal("b")).to_dfa()
+        both = left.product(right, accept_both=True)
+        assert both.words_up_to(2) == words(["a"])
+
+
+class TestCharacterization:
+    def test_prefix_closure_of_abc(self):
+        closed = prefix_closure(literal("abc").to_dfa())
+        assert closed.words_up_to(3) == words(["", "a", "ab", "abc"])
+
+    def test_prefix_closed_detection(self):
+        assert is_prefix_closed(prefix_closure(literal("ab").to_dfa()))
+        assert not is_prefix_closed(literal("ab").to_dfa())
+
+    def test_self_loop_cycles_detection(self):
+        with_loop = prefix_closure(
+            concat(literal("a"), star(literal("b"))).to_dfa()
+        )
+        assert has_only_self_loop_cycles(with_loop)
+        with_cycle = prefix_closure(star(literal("ab")).to_dfa())
+        assert not has_only_self_loop_cycles(with_cycle)
+
+    def test_paper_examples(self):
+        # "the prefix closure of ab*c is such a language, whereas the
+        # prefix closure of (ab)* is not."
+        good = prefix_closure(
+            concat(literal("a"), star(literal("b")), literal("c")).to_dfa()
+        )
+        assert is_generable_language(good)
+        bad = prefix_closure(star(concat(literal("a"), literal("b"))).to_dfa())
+        assert not is_generable_language(bad)
+
+    def test_abc_example_gen(self):
+        abc = build_abc_example()
+        generated = gen_words(abc, 5)
+        expected = prefix_closure(
+            concat(literal("a"), star(literal("b")), literal("c")).to_dfa()
+        ).words_up_to(5)
+        assert generated == expected
+
+    def test_gen_automaton_is_prefix_closed_with_self_loops_only(self):
+        abc = build_abc_example()
+        dfa = gen_automaton(abc).to_dfa()
+        assert is_prefix_closed(dfa)
+        assert has_only_self_loop_cycles(dfa)
+
+    def test_converse_construction_abstar_c(self):
+        language = prefix_closure(
+            concat(literal("a"), star(literal("b")), literal("c")).to_dfa()
+        )
+        transducer = transducer_for_automaton(language)
+        assert gen_words(transducer, 4) == language.words_up_to(4)
+
+    def test_converse_construction_branching(self):
+        language = prefix_closure(from_words(["ab", "cd"]).to_dfa())
+        transducer = transducer_for_automaton(language)
+        assert gen_words(transducer, 3) == language.words_up_to(3)
+
+    def test_converse_rejects_bad_language(self):
+        bad = prefix_closure(star(concat(literal("a"), literal("b"))).to_dfa())
+        from repro.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            transducer_for_automaton(bad)
+
+    def test_converse_with_self_loops(self):
+        language = prefix_closure(
+            concat(literal("x"), star(literal("y"))).to_dfa()
+        )
+        transducer = transducer_for_automaton(language)
+        assert gen_words(transducer, 4) == language.words_up_to(4)
+
+
+class TestNTM:
+    def test_word_writer_generates_exactly(self):
+        ntm = word_writer_ntm(["xy", "z"])
+        assert ntm.generated_words(4, 12) == words(["xy", "z"])
+
+    def test_single_letter_word(self):
+        ntm = word_writer_ntm(["a"])
+        assert ntm.generated_words(3, 8) == words(["a"])
+
+    def test_halt_requires_head_at_origin(self):
+        ntm = word_writer_ntm(["ab"])
+        for trace in ntm.computations(4, 12):
+            assert trace[-1][1].head == 0
+
+    def test_config_word_stops_at_blank(self):
+        from repro.automata.turing import TMConfig
+
+        config = TMConfig("h", ("x", "y", BLANK, "z"), 0)
+        assert config.word() == ("x", "y")
+
+
+class TestTheorem42:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        ntm = word_writer_ntm(["xy"])
+        return compile_tm(ntm)
+
+    @pytest.fixture(scope="class")
+    def computation(self, compiled):
+        return next(iter(compiled.ntm.computations(4, 12)))
+
+    def test_honest_simulation_error_free(self, compiled, computation):
+        run = compiled.transducer.run(
+            {}, simulation_inputs(compiled, computation)
+        )
+        assert is_error_free(run)
+
+    def test_word_is_output_in_order(self, compiled, computation):
+        run = compiled.transducer.run(
+            {}, simulation_inputs(compiled, computation)
+        )
+        letters = []
+        for output in run.outputs:
+            for name in output.schema.names:
+                if name.startswith("p_") and output[name]:
+                    letters.append(name[2:])
+        assert letters == list(computation[-1][1].word())
+
+    def test_prefix_output(self, compiled, computation):
+        run = compiled.transducer.run(
+            {}, simulation_inputs(compiled, computation, output_length=1)
+        )
+        assert is_error_free(run)
+        emitted = [
+            name
+            for output in run.outputs
+            for name in output.schema.names
+            if name.startswith("p_") and output[name]
+        ]
+        assert emitted == ["p_x"]
+
+    def test_corrupted_configuration_detected(self, compiled, computation):
+        import copy
+
+        steps = simulation_inputs(compiled, computation)
+        bad = copy.deepcopy(steps)
+        for step in bad:
+            if "move" in step:
+                row = next(iter(step["tape"]))
+                step["tape"].discard(row)
+                step["tape"].add(
+                    (row[0], row[1], row[2], "y" if row[3] != "y" else "x", row[4])
+                )
+                break
+        run = compiled.transducer.run({}, bad)
+        assert not is_error_free(run)
+
+    def test_wrong_move_detected(self, compiled, computation):
+        import copy
+
+        bad = copy.deepcopy(simulation_inputs(compiled, computation))
+        for step in bad:
+            if "move" in step:
+                step["move"] = {(99,)}
+                break
+        assert not is_error_free(compiled.transducer.run({}, bad))
+
+    def test_skipped_stage_detected(self, compiled, computation):
+        steps = simulation_inputs(compiled, computation)
+        tape_len = len(computation[0][1].tape)
+        assert not is_error_free(
+            compiled.transducer.run({}, steps[tape_len:])
+        )
+
+    def test_reordered_cells_detected(self, compiled, computation):
+        # Reading the output word out of order trips the cell rules.
+        steps = simulation_inputs(compiled, computation)
+        # Swap the two stage-3 cell steps.
+        stage3 = [i for i, s in enumerate(steps) if "cell" in s]
+        assert len(stage3) >= 2
+        steps[stage3[0]], steps[stage3[1]] = steps[stage3[1]], steps[stage3[0]]
+        assert not is_error_free(compiled.transducer.run({}, steps))
+
+    def test_stamp_reuse_detected(self, compiled, computation):
+        import copy
+
+        bad = copy.deepcopy(simulation_inputs(compiled, computation))
+        for step in bad:
+            if "move" in step:
+                step["tape"] = {
+                    (0, row[1], row[2], row[3], row[4]) for row in step["tape"]
+                }
+                break
+        assert not is_error_free(compiled.transducer.run({}, bad))
+
+    def test_multi_word_machine(self):
+        ntm = word_writer_ntm(["xy", "x"])
+        compiled = compile_tm(ntm)
+        seen_words = set()
+        for trace in ntm.computations(4, 12):
+            run = compiled.transducer.run(
+                {}, simulation_inputs(compiled, trace)
+            )
+            assert is_error_free(run)
+            letters = tuple(
+                name[2:]
+                for output in run.outputs
+                for name in output.schema.names
+                if name.startswith("p_") and output[name]
+            )
+            seen_words.add(letters)
+        assert seen_words == words(["xy", "x"])

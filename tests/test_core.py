@@ -1,0 +1,284 @@
+"""Tests for the transducer core: schemas, runs, Spocus, parser, acceptors."""
+
+import pytest
+
+from repro.core import (
+    SpocusTransducer,
+    TransducerSchema,
+    format_run_figure,
+    is_accepted,
+    is_error_free,
+    is_ok_run,
+    parse_transducer,
+    past,
+)
+from repro.core.acceptors import error_free_prefix, first_error_step
+from repro.core.spocus import ExtendedStateTransducer, derive_state_schema
+from repro.errors import SchemaError, SpocusViolation
+from repro.relalg import DatabaseSchema, Instance
+
+
+def make_schema(**kwargs):
+    defaults = dict(
+        inputs=DatabaseSchema.of(a=1),
+        state=DatabaseSchema.of(**{"past-a": 1}),
+        outputs=DatabaseSchema.of(out=1),
+        database=DatabaseSchema.of(db=1),
+        log=("out",),
+    )
+    defaults.update(kwargs)
+    return TransducerSchema(**defaults)
+
+
+class TestTransducerSchema:
+    def test_valid_schema(self):
+        schema = make_schema()
+        assert schema.logged_outputs() == ("out",)
+
+    def test_overlapping_components_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(outputs=DatabaseSchema.of(a=1))
+
+    def test_log_must_be_input_or_output(self):
+        with pytest.raises(SchemaError):
+            make_schema(log=("db",))
+
+    def test_full_log_detection(self):
+        schema = make_schema(log=("a", "out"))
+        assert schema.is_full_log()
+        assert not make_schema().is_full_log()
+
+    def test_duplicate_log_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(log=("out", "out"))
+
+    def test_log_schema(self):
+        schema = make_schema(log=("a", "out"))
+        assert set(schema.log_schema.names) == {"a", "out"}
+
+
+class TestSpocusValidation:
+    def test_state_schema_derived(self):
+        schema = derive_state_schema(DatabaseSchema.of(order=1, pay=2))
+        assert schema.arity(past("order")) == 1
+        assert schema.arity(past("pay")) == 2
+
+    def test_head_must_be_output(self):
+        with pytest.raises(SpocusViolation):
+            SpocusTransducer.make(
+                {"q": 1}, {"p": 1}, rules="q(X) :- q(X);"
+            )
+
+    def test_output_in_body_rejected(self):
+        with pytest.raises(SpocusViolation):
+            SpocusTransducer.make(
+                {"q": 1}, {"p": 1, "r": 1}, rules="p(X) :- q(X); r(X) :- p(X);"
+            )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SpocusViolation):
+            SpocusTransducer.make({"q": 1}, {"p": 2}, rules="p(X) :- q(X);")
+
+    def test_unknown_body_relation_rejected(self):
+        with pytest.raises(SpocusViolation):
+            SpocusTransducer.make({"q": 1}, {"p": 1}, rules="p(X) :- zz(X);")
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(SpocusViolation):
+            SpocusTransducer.make(
+                {"q": 1}, {"p": 1}, rules="p(X) :- q(Y), NOT q(X);"
+            )
+
+    def test_cumulative_output_rule_rejected(self):
+        with pytest.raises(SpocusViolation):
+            SpocusTransducer.make({"q": 1}, {"p": 1}, rules="p(X) +:- q(X);")
+
+    def test_past_relations_usable(self):
+        t = SpocusTransducer.make(
+            {"q": 1}, {"p": 1}, rules="p(X) :- q(X), NOT past-q(X);"
+        )
+        run = t.run({}, [{"q": {(1,)}}, {"q": {(1,)}}])
+        assert run.outputs[0]["p"] == {(1,)}
+        assert run.outputs[1]["p"] == frozenset()
+
+
+class TestRunSemantics:
+    def test_state_accumulates(self, short, catalog_db):
+        run = short.run(catalog_db, [{"order": {("time",)}}, {}])
+        assert run.states[0][past("order")] == {("time",)}
+        assert run.states[1][past("order")] == {("time",)}
+
+    def test_output_sees_previous_state(self, short, catalog_db):
+        # Ordering and paying in the same step delivers (past-order is
+        # only needed at the *next* step for the bill, but deliver reads
+        # past-order which is still empty at step 1).
+        run = short.run(
+            catalog_db, [{"order": {("time",)}, "pay": {("time", 55)}}]
+        )
+        assert run.outputs[0]["deliver"] == frozenset()
+
+    def test_log_restriction(self, short, catalog_db):
+        run = short.run(catalog_db, [{"order": {("time",)}}])
+        entry = run.logs[0]
+        assert set(entry.schema.names) == {"sendbill", "pay", "deliver"}
+        assert entry["sendbill"] == {("time", 55)}
+
+    def test_empty_run(self, short, catalog_db):
+        run = short.run(catalog_db, [])
+        assert len(run) == 0
+
+    def test_figure1_trace(self, short, catalog_db, figure1_inputs):
+        run = short.run(catalog_db, figure1_inputs)
+        assert run.outputs[0]["sendbill"] == {("time", 55)}
+        assert run.outputs[1]["deliver"] == {("time",)}
+        assert run.outputs[2]["sendbill"] == {("le_monde", 350)}
+        assert run.outputs[3]["deliver"] == {("le_monde",)}
+
+    def test_figure2_trace(self, friendly, catalog_db, figure2_inputs):
+        run = friendly.run(catalog_db, figure2_inputs)
+        assert run.outputs[0]["unavailable"] == {("vogue",)}
+        assert run.outputs[1]["rejectpay"] == {("newsweek",)}
+        assert run.outputs[2]["alreadypaid"] == {("time",)}
+        assert run.outputs[3]["rebill"] == {("newsweek", 45)}
+
+    def test_format_figure(self, short, catalog_db, figure1_inputs):
+        text = format_run_figure(short.run(catalog_db, figure1_inputs))
+        assert "sendbill(time, 55)" in text
+        assert "deliver(le_monde)" in text
+
+    def test_prefix(self, short, catalog_db, figure1_inputs):
+        run = short.run(catalog_db, figure1_inputs)
+        assert len(run.prefix(2)) == 2
+
+
+class TestProgramParser:
+    def test_short_parses_as_spocus(self):
+        from repro.commerce.models import SHORT_SOURCE
+
+        t = parse_transducer(SHORT_SOURCE)
+        assert isinstance(t, SpocusTransducer)
+        assert set(t.schema.log) == {"sendbill", "pay", "deliver"}
+
+    def test_arity_inference(self):
+        t = parse_transducer(
+            """
+            schema
+              input: q;
+              output: p;
+              log: p;
+            state rules
+              past-q(X) +:- q(X);
+            output rules
+              p(X) :- q(X);
+            """
+        )
+        assert t.schema.inputs.arity("q") == 1
+
+    def test_uninferable_arity_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_transducer(
+                """
+                schema
+                  input: q, unused;
+                  output: p;
+                output rules
+                  p(X) :- q(X);
+                """
+            )
+
+    def test_projection_state_rule_gives_extended(self):
+        t = parse_transducer(
+            """
+            schema
+              input: r;
+              state: r2;
+              output: v;
+            state rules
+              r2(Y) +:- r(X, Y);
+            output rules
+              v :- r2(X);
+            """
+        )
+        assert isinstance(t, ExtendedStateTransducer)
+
+    def test_relations_spelling_accepted(self):
+        # The paper's `friendly` uses "relations" instead of "schema".
+        t = parse_transducer(
+            """
+            relations
+              input: q/1;
+              output: p/1;
+            output rules
+              p(X) :- q(X);
+            """
+        )
+        assert isinstance(t, SpocusTransducer)
+
+
+class TestExtendedStateTransducer:
+    def test_projection_accumulates(self):
+        from repro.datalog.parser import parse_program
+
+        t = ExtendedStateTransducer(
+            inputs=DatabaseSchema.of(r=2),
+            state=DatabaseSchema.of(r2=1),
+            outputs=DatabaseSchema.of(seen=1),
+            database=DatabaseSchema(()),
+            state_program="r2(Y) +:- r(X, Y);",
+            output_program="seen(Y) :- r2(Y);",
+        )
+        run = t.run({}, [{"r": {(1, 2)}}, {"r": {(3, 4)}}, {}])
+        assert run.states[1]["r2"] == {(2,), (4,)}
+        assert run.outputs[2]["seen"] == {(2,), (4,)}
+
+    def test_non_cumulative_state_rule_rejected(self):
+        with pytest.raises(SchemaError):
+            ExtendedStateTransducer(
+                inputs=DatabaseSchema.of(r=1),
+                state=DatabaseSchema.of(s=1),
+                outputs=DatabaseSchema.of(o=1),
+                database=DatabaseSchema(()),
+                state_program="s(X) :- r(X);",
+                output_program="o(X) :- s(X);",
+            )
+
+
+class TestAcceptors:
+    def _run_with_outputs(self, outputs):
+        from repro.core.run import Run
+
+        schema = DatabaseSchema.of(error=0, ok=0, accept=0)
+        instances = tuple(
+            Instance(schema, {name: {()} for name in names})
+            for names in outputs
+        )
+        empty = Instance(DatabaseSchema(()))
+        return Run(
+            empty,
+            tuple(empty for _ in outputs),
+            tuple(empty for _ in outputs),
+            instances,
+            tuple(empty for _ in outputs),
+        )
+
+    def test_error_free(self):
+        run = self._run_with_outputs([set(), {"ok"}])
+        assert is_error_free(run)
+        bad = self._run_with_outputs([set(), {"error"}])
+        assert not is_error_free(bad)
+        assert first_error_step(bad) == 1
+
+    def test_ok_run(self):
+        assert is_ok_run(self._run_with_outputs([{"ok"}, {"ok"}]))
+        assert not is_ok_run(self._run_with_outputs([{"ok"}, set()]))
+
+    def test_accept_run(self):
+        assert is_accepted(self._run_with_outputs([set(), {"accept"}]))
+        assert not is_accepted(self._run_with_outputs([{"accept"}, set()]))
+        assert not is_accepted(self._run_with_outputs([]))
+
+    def test_error_free_prefix(self):
+        run = self._run_with_outputs([{"ok"}, {"error"}, {"ok"}])
+        assert len(error_free_prefix(run)) == 1

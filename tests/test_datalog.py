@@ -1,0 +1,244 @@
+"""Tests for the datalog engine: parsing, safety, strata, evaluation."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    DatalogEngine,
+    Inequality,
+    NegatedAtom,
+    PositiveAtom,
+    Program,
+    Rule,
+    Variable,
+    check_rule_safety,
+    evaluate_program,
+    is_nonrecursive,
+    is_semipositive,
+    parse_program,
+    parse_rule,
+    stratify,
+)
+from repro.datalog.stratify import evaluation_order
+from repro.errors import ParseError, RuleError, SafetyError
+
+
+class TestParser:
+    def test_simple_rule(self):
+        rule = parse_rule("p(X) :- q(X, Y)")
+        assert rule.head.predicate == "p"
+        assert rule.head.arity == 1
+        assert len(rule.body) == 1
+
+    def test_negation(self):
+        rule = parse_rule("p(X) :- q(X), NOT r(X)")
+        assert len(rule.negated_atoms()) == 1
+
+    def test_inequality(self):
+        rule = parse_rule("p(X) :- q(X, Y), X <> Y")
+        assert len(rule.inequalities()) == 1
+
+    def test_cumulative(self):
+        rule = parse_rule("past-order(X) +:- order(X)")
+        assert rule.cumulative
+
+    def test_propositional_atoms(self):
+        rule = parse_rule("a :- A, NOT past-A")
+        assert rule.head.arity == 0
+
+    def test_hyphenated_names(self):
+        rule = parse_rule("rebill(X,Y) :- pending-bills, past-order(X), price(X,Y)")
+        assert "pending-bills" in rule.body_predicates()
+
+    def test_constants_lowercase(self):
+        rule = parse_rule("p(X) :- q(X, abc)")
+        atom = rule.positive_atoms()[0]
+        assert atom.terms[1] == Constant("abc")
+
+    def test_numbers_and_strings(self):
+        rule = parse_rule("p(X) :- q(X, 42, 'hello world')")
+        atom = rule.positive_atoms()[0]
+        assert atom.terms[1] == Constant(42)
+        assert atom.terms[2] == Constant("hello world")
+
+    def test_fact(self):
+        rule = parse_rule("p(a)")
+        assert rule.body == ()
+
+    def test_program_multiple_rules(self):
+        program = parse_program("p(X) :- q(X); r(X) :- p(X);")
+        assert len(program) == 2
+
+    def test_comments_ignored(self):
+        program = parse_program("# a comment\np(X) :- q(X);")
+        assert len(program) == 1
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X) r(X)")
+
+    def test_primed_variables(self):
+        rule = parse_rule("v :- r(X, Y), r(X, Y'), Y <> Y'")
+        assert Variable("Y'") in rule.body_variables()
+
+    def test_roundtrip_str(self):
+        text = "p(X) :- q(X, Y), NOT r(Y)"
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule
+
+
+class TestSafety:
+    def test_safe_rule_passes(self):
+        check_rule_safety(parse_rule("p(X) :- q(X)"))
+
+    def test_unbound_head_variable(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X, Y) :- q(X)"))
+
+    def test_unbound_negated_variable(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X) :- q(X), NOT r(Y)"))
+
+    def test_unbound_inequality_variable(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X) :- q(X), X <> Y"))
+
+    def test_negated_only_binding_is_unsafe(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X) :- NOT q(X)"))
+
+    def test_propositional_rule_is_safe(self):
+        check_rule_safety(parse_rule("a :- NOT b"))
+
+
+class TestStratify:
+    def test_nonrecursive_detection(self):
+        assert is_nonrecursive(parse_program("p(X) :- q(X); r(X) :- p(X);"))
+        assert not is_nonrecursive(parse_program("p(X) :- p(X);"))
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program("p(X) :- q(X); q(X) :- p(X);")
+        assert not is_nonrecursive(program)
+
+    def test_semipositive(self):
+        program = parse_program("p(X) :- e(X), NOT f(X);")
+        assert is_semipositive(program)
+        bad = parse_program("p(X) :- e(X); q(X) :- NOT p(X), e(X);")
+        assert not is_semipositive(bad)
+
+    def test_stratification_layers(self):
+        program = parse_program("p(X) :- e(X); q(X) :- e(X), NOT p(X);")
+        strata = stratify(program)
+        p_level = next(i for i, s in enumerate(strata) if "p" in s)
+        q_level = next(i for i, s in enumerate(strata) if "q" in s)
+        assert p_level < q_level
+
+    def test_unstratifiable_raises(self):
+        program = parse_program("p(X) :- e(X), NOT q(X); q(X) :- e(X), NOT p(X);")
+        with pytest.raises(RuleError):
+            stratify(program)
+
+    def test_evaluation_order_topological(self):
+        program = parse_program("r(X) :- p(X); p(X) :- q(X); q(X) :- e(X);")
+        order = evaluation_order(program)
+        assert order.index("q") < order.index("p") < order.index("r")
+
+
+class TestEvaluate:
+    def test_join(self):
+        program = parse_program("p(X, Z) :- q(X, Y), r(Y, Z);")
+        facts = evaluate_program(
+            program, {"q": frozenset({(1, 2)}), "r": frozenset({(2, 3)})}
+        )
+        assert facts["p"] == {(1, 3)}
+
+    def test_negation(self):
+        program = parse_program("p(X) :- q(X), NOT r(X);")
+        facts = evaluate_program(
+            program,
+            {"q": frozenset({(1,), (2,)}), "r": frozenset({(2,)})},
+        )
+        assert facts["p"] == {(1,)}
+
+    def test_inequality(self):
+        program = parse_program("p(X, Y) :- q(X), q(Y), X <> Y;")
+        facts = evaluate_program(program, {"q": frozenset({(1,), (2,)})})
+        assert facts["p"] == {(1, 2), (2, 1)}
+
+    def test_constant_in_head(self):
+        program = parse_program("p(done, X) :- q(X);")
+        facts = evaluate_program(program, {"q": frozenset({(1,)})})
+        assert facts["p"] == {("done", 1)}
+
+    def test_constant_in_body_filters(self):
+        program = parse_program("p(X) :- q(X, 5);")
+        facts = evaluate_program(
+            program, {"q": frozenset({(1, 5), (2, 6)})}
+        )
+        assert facts["p"] == {(1,)}
+
+    def test_recursion_transitive_closure(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y); t(X, Z) :- t(X, Y), e(Y, Z);"
+        )
+        edges = frozenset({(1, 2), (2, 3), (3, 4)})
+        facts = evaluate_program(program, {"e": edges})
+        assert (1, 4) in facts["t"]
+        assert len(facts["t"]) == 6
+
+    def test_stratified_negation_after_recursion(self):
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y);
+            t(X, Z) :- t(X, Y), e(Y, Z);
+            unreachable(X, Y) :- node(X), node(Y), NOT t(X, Y), X <> Y;
+            """
+        )
+        facts = evaluate_program(
+            program,
+            {
+                "e": frozenset({(1, 2)}),
+                "node": frozenset({(1,), (2,), (3,)}),
+            },
+        )
+        assert (1, 3) in facts["unreachable"]
+        assert (1, 2) not in facts["unreachable"]
+
+    def test_propositional(self):
+        program = parse_program("a :- A, NOT past-A;")
+        facts = evaluate_program(
+            program, {"A": frozenset({()}), "past-A": frozenset()}
+        )
+        assert facts["a"] == {()}
+
+    def test_repeated_variable_in_atom(self):
+        program = parse_program("p(X) :- q(X, X);")
+        facts = evaluate_program(
+            program, {"q": frozenset({(1, 1), (1, 2)})}
+        )
+        assert facts["p"] == {(1,)}
+
+
+class TestEngine:
+    def test_idb_schema_inferred(self):
+        engine = DatalogEngine("p(X, Y) :- q(X), r(Y);")
+        assert engine.idb_schema().arity("p") == 2
+
+    def test_inconsistent_head_arity_rejected(self):
+        with pytest.raises(RuleError):
+            DatalogEngine("p(X) :- q(X); p(X, Y) :- q(X), q(Y);")
+
+    def test_unknown_edb_predicate_rejected(self):
+        from repro.relalg import DatabaseSchema
+
+        with pytest.raises(Exception):
+            DatalogEngine("p(X) :- mystery(X);", DatabaseSchema.of(q=1))
+
+    def test_evaluate_instance(self):
+        from repro.relalg import DatabaseSchema, Instance
+
+        schema = DatabaseSchema.of(q=1)
+        engine = DatalogEngine("p(X) :- q(X);", schema)
+        result = engine.evaluate(Instance(schema, {"q": {(1,)}}))
+        assert result["p"] == {(1,)}

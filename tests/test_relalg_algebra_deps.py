@@ -1,0 +1,200 @@
+"""Tests for the relational algebra, dependencies, and the chase."""
+
+import pytest
+
+from repro.errors import ChaseNonterminationError, EvaluationError, SchemaError
+from repro.relalg import (
+    FunctionalDependency,
+    InclusionDependency,
+    chase,
+    difference,
+    fd_closure,
+    implies_fd,
+    implies_mixed,
+    intersection,
+    natural_join,
+    product,
+    project,
+    select,
+    union,
+    violations_fd,
+    violations_ind,
+)
+from repro.relalg.algebra import antijoin, select_eq, select_eq_cols, semijoin
+from repro.relalg.dependencies import parse_fd, parse_ind
+
+R = {("a", 1), ("b", 2), ("a", 3)}
+S = {(1, "x"), (2, "y")}
+
+
+class TestAlgebra:
+    def test_select(self):
+        assert select(R, lambda t: t[0] == "a") == {("a", 1), ("a", 3)}
+
+    def test_select_eq(self):
+        assert select_eq(R, 0, "b") == {("b", 2)}
+
+    def test_select_eq_cols(self):
+        rows = {("a", "a"), ("a", "b")}
+        assert select_eq_cols(rows, 0, 1) == {("a", "a")}
+
+    def test_project_reorders_and_dedups(self):
+        assert project(R, [0]) == {("a",), ("b",)}
+        assert project(R, [1, 0]) == {(1, "a"), (2, "b"), (3, "a")}
+
+    def test_product(self):
+        assert len(product(R, S)) == len(R) * len(S)
+
+    def test_natural_join(self):
+        joined = natural_join(R, S, [(1, 0)])
+        assert ("a", 1, 1, "x") in joined
+        assert ("b", 2, 2, "y") in joined
+        assert len(joined) == 2
+
+    def test_join_no_pairs_is_product(self):
+        assert natural_join(R, S, []) == product(R, S)
+
+    def test_semijoin_antijoin_partition(self):
+        semi = semijoin(R, S, [(1, 0)])
+        anti = antijoin(R, S, [(1, 0)])
+        assert semi | anti == frozenset(R)
+        assert not (semi & anti)
+
+    def test_union_difference_intersection(self):
+        a = {("x",)}
+        b = {("y",)}
+        assert union(a, b) == {("x",), ("y",)}
+        assert difference(union(a, b), b) == frozenset(a)
+        assert intersection(a, b) == frozenset()
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            union({("x",)}, {("y", "z")})
+
+
+class TestDependencies:
+    def test_fd_violations(self):
+        fd = FunctionalDependency("R", (0,), 1)
+        rows = {("a", 1), ("a", 2), ("b", 3)}
+        assert len(violations_fd(rows, fd)) == 1
+
+    def test_fd_holds(self):
+        fd = FunctionalDependency("R", (0,), 1)
+        assert not violations_fd({("a", 1), ("b", 1)}, fd)
+
+    def test_fd_duplicate_lhs_rejected(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency("R", (0, 0), 1)
+
+    def test_ind_violations(self):
+        ind = InclusionDependency("R", (0,), "R", (1,))
+        rows = {("a", "b"), ("b", "c")}
+        # R[1] = {a, b}; R[2] = {b, c}: 'a' missing from R[2].
+        assert violations_ind(rows, rows, ind) == [("a", "b")]
+
+    def test_ind_cross_relation(self):
+        ind = InclusionDependency("R", (0,), "S", (0,))
+        assert not violations_ind({("a",)}, {("a",), ("b",)}, ind)
+
+    def test_ind_width_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("R", (0, 1), "R", (0,))
+
+    def test_parse_fd(self):
+        fd = parse_fd("R", "13->2")
+        assert fd.lhs == (0, 2) and fd.rhs == 1
+
+    def test_parse_ind(self):
+        ind = parse_ind("R", "1<=2")
+        assert ind.lhs == (0,) and ind.rhs == (1,)
+
+
+class TestFdClosure:
+    def test_reflexive(self):
+        assert 0 in fd_closure([0], [])
+
+    def test_transitive(self):
+        fds = [
+            FunctionalDependency("R", (0,), 1),
+            FunctionalDependency("R", (1,), 2),
+        ]
+        assert fd_closure([0], fds) == {0, 1, 2}
+
+    def test_implies_fd_positive(self):
+        fds = [FunctionalDependency("R", (0,), 1)]
+        assert implies_fd(fds, FunctionalDependency("R", (0, 2), 1))
+
+    def test_implies_fd_negative(self):
+        fds = [FunctionalDependency("R", (0,), 1)]
+        assert not implies_fd(fds, FunctionalDependency("R", (1,), 0))
+
+    def test_trivial_fd_implied(self):
+        assert implies_fd([], FunctionalDependency("R", (0, 1), 1))
+
+
+class TestChase:
+    def test_fd_chase_merges_nulls(self):
+        from repro.relalg.domain import fresh_null
+
+        n1, n2 = fresh_null(), fresh_null()
+        result = chase(
+            {"R": {("a", n1), ("a", n2)}},
+            [FunctionalDependency("R", (0,), 1)],
+        )
+        assert not result.failed
+        assert len(result.tables["R"]) == 1
+
+    def test_fd_chase_fails_on_constant_clash(self):
+        result = chase(
+            {"R": {("a", 1), ("a", 2)}},
+            [FunctionalDependency("R", (0,), 1)],
+        )
+        assert result.failed
+
+    def test_ind_chase_adds_tuples(self):
+        result = chase(
+            {"R": {("a", "b")}, "S": set()},
+            [InclusionDependency("R", (0,), "S", (0,))],
+        )
+        assert not result.failed
+        assert any(row[0] == "a" for row in result.tables["S"])
+
+    def test_cyclic_ind_chase_does_not_terminate(self):
+        # R[1] ⊆ R[2] keeps demanding fresh values forever: the chase is
+        # a semi-decision procedure, which is the whole point of the
+        # undecidability the paper's reductions build on.
+        with pytest.raises(ChaseNonterminationError):
+            chase(
+                {"R": {("a", "b")}},
+                [InclusionDependency("R", (0,), "R", (1,))],
+                max_steps=50,
+            )
+
+    def test_nonterminating_chase_raises(self):
+        # R[2] ⊆ R[1] with an FD forcing fresh values cycles forever:
+        # each added row introduces a new null in column 1 that must
+        # itself appear in column 1 of another row... use a tight budget.
+        deps = [
+            InclusionDependency("R", (1,), "R", (0,)),
+            FunctionalDependency("R", (0,), 1),
+            InclusionDependency("R", (0,), "R", (1,)),
+        ]
+        with pytest.raises(ChaseNonterminationError):
+            chase({"R": {("a", "b"), ("b", "c")}}, deps, max_steps=20)
+
+    def test_implies_mixed_fd_only_agrees_with_closure(self):
+        fds = [
+            FunctionalDependency("R", (0,), 1),
+            FunctionalDependency("R", (1,), 2),
+        ]
+        candidate = FunctionalDependency("R", (0,), 2)
+        assert implies_mixed(fds, candidate, 3) == implies_fd(fds, candidate)
+
+    def test_implies_mixed_negative(self):
+        fds = [FunctionalDependency("R", (0,), 1)]
+        ind = InclusionDependency("R", (0,), "R", (1,))
+        assert not implies_mixed(fds, ind, 2)
+
+    def test_implies_mixed_trivial_ind(self):
+        ind = InclusionDependency("R", (0,), "R", (0,))
+        assert implies_mixed([], ind, 2)

@@ -1,0 +1,155 @@
+"""Direct tests of the shared run encoder (proof machinery of Thm 3.1)."""
+
+import pytest
+
+from repro.datalog.ast import Constant as C
+from repro.datalog.ast import Variable as V
+from repro.datalog.parser import parse_program
+from repro.errors import VerificationError
+from repro.logic.bsr import decide_bsr
+from repro.logic.fol import Bottom, Not, Or, Rel, conjoin
+from repro.verify.encoder import (
+    RunEncoder,
+    decode_input_sequence,
+    split_step_relation,
+    step_relation,
+)
+
+
+class TestStepRelations:
+    def test_roundtrip(self):
+        assert split_step_relation(step_relation("order", 3)) == ("order", 3)
+
+    def test_non_step_names(self):
+        assert split_step_relation("price") is None
+        assert split_step_relation("a@b") is None
+
+
+class TestFormulas:
+    def test_past_expansion(self, short):
+        encoder = RunEncoder(short, 3)
+        x = V("x")
+        formula = encoder.past_formula("order", (x,), 3)
+        assert isinstance(formula, Or)
+        assert {f.predicate for f in formula.operands} == {
+            "order@1",
+            "order@2",
+        }
+
+    def test_past_at_step_one_is_bottom(self, short):
+        encoder = RunEncoder(short, 2)
+        assert isinstance(
+            encoder.past_formula("order", (V("x"),), 1), Bottom
+        )
+
+    def test_past_inclusive_includes_current(self, short):
+        encoder = RunEncoder(short, 2)
+        formula = encoder.past_formula("order", (V("x"),), 2, inclusive=True)
+        assert {f.predicate for f in formula.operands} == {
+            "order@1",
+            "order@2",
+        }
+
+    def test_output_formula_unifies_head(self, short):
+        # sendbill(c, d) at step 1 must expand the rule body with X=c,
+        # Y=d: order@1(c) ∧ price(c, d) ∧ ¬(past-pay = ⊥ at step 1).
+        encoder = RunEncoder(short, 1)
+        formula = encoder.output_formula("sendbill", (C("c"), C("d")), 1)
+        text = str(formula)
+        assert "order@1(c)" in text
+        assert "price(c, d)" in text
+
+    def test_step_bounds_checked(self, short):
+        encoder = RunEncoder(short, 2)
+        with pytest.raises(VerificationError):
+            encoder.input_atom("order", (V("x"),), 3)
+
+    def test_non_output_rejected(self, short):
+        encoder = RunEncoder(short, 1)
+        with pytest.raises(VerificationError):
+            encoder.output_formula("order", (V("x"),), 1)
+
+
+class TestExactContent:
+    def test_exact_content_pins_relation(self, short, catalog_db):
+        # The axioms for order@1 = {(time,)} have exactly the models
+        # whose order@1 is that singleton.
+        encoder = RunEncoder(short, 1)
+        axiom = encoder.input_content_axiom("order", 1, {("time",)})
+        result = decide_bsr(axiom, extra_constants=("time", "other"))
+        assert result.satisfiable
+        assert result.model.tuples("order@1") == {("time",)}
+
+    def test_exact_content_empty_relation(self, short):
+        encoder = RunEncoder(short, 1)
+        axiom = encoder.input_content_axiom("order", 1, set())
+        contradiction = conjoin(
+            [axiom, Rel("order@1", (C("x0"),))]
+        )
+        assert not decide_bsr(contradiction).satisfiable
+
+    def test_zero_arity_exact_content(self):
+        from repro.core.spocus import SpocusTransducer
+
+        t = SpocusTransducer.make({"ping": 0}, {"pong": 0}, rules="pong :- ping;")
+        encoder = RunEncoder(t, 1)
+        present = encoder.input_content_axiom("ping", 1, {()})
+        absent = encoder.input_content_axiom("ping", 1, set())
+        assert decide_bsr(present).satisfiable
+        assert decide_bsr(absent).satisfiable
+        assert not decide_bsr(conjoin([present, absent])).satisfiable
+
+    def test_database_axioms_fix_catalog(self, short, catalog_db):
+        encoder = RunEncoder(short, 1)
+        db = short.coerce_database(catalog_db)
+        axioms = encoder.database_axioms(db)
+        wrong = conjoin([axioms, Rel("price", (C("time"), C(99)))])
+        assert not decide_bsr(
+            wrong, extra_constants=tuple(db.active_domain())
+        ).satisfiable
+
+
+class TestDecoding:
+    def test_decode_witness_structure(self, short, catalog_db):
+        encoder = RunEncoder(short, 2)
+        sentence = conjoin(
+            [
+                encoder.database_axioms(short.coerce_database(catalog_db)),
+                Rel("order@1", (C("time"),)),
+                Rel("pay@2", (C("time"), C(55))),
+            ]
+        )
+        result = decide_bsr(
+            sentence, extra_constants=("time", 55)
+        )
+        assert result.satisfiable
+        witness = decode_input_sequence(short, 2, result.model)
+        assert ("time",) in witness[0]["order"]
+        assert ("time", 55) in witness[1]["pay"]
+
+
+class TestErrorFreeAxioms:
+    def test_axioms_forbid_error_bodies(self, short, catalog_db):
+        guarded = short.with_extra_rules(
+            "error :- pay(X,Y), NOT price(X,Y);",
+            extra_outputs={"error": 0},
+        )
+        encoder = RunEncoder(guarded, 1)
+        db = guarded.coerce_database(catalog_db)
+        sentence = conjoin(
+            [
+                encoder.database_axioms(db),
+                encoder.error_free_axioms(),
+                Rel("pay@1", (C("time"), C(99))),
+            ]
+        )
+        assert not decide_bsr(
+            sentence, extra_constants=tuple(db.active_domain() | {99})
+        ).satisfiable
+
+    def test_no_error_relation_is_vacuous(self, short):
+        encoder = RunEncoder(short, 2)
+        axioms = encoder.error_free_axioms()
+        assert decide_bsr(
+            conjoin([axioms, Rel("order@1", (C("a"),))])
+        ).satisfiable
