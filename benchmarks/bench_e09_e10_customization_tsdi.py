@@ -14,7 +14,6 @@ from repro.commerce.models import build_short
 from repro.core.acceptors import is_error_free
 from repro.verify import TsdiConjunct, TsdiSentence, enforce_tsdi, satisfies_tsdi
 from repro.verify.containment import (
-    are_log_equivalent,
     log_contains,
     pointwise_log_equal,
 )

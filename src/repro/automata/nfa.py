@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Hashable, Iterable
 
 State = Hashable
 Symbol = str

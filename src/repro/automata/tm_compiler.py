@@ -141,7 +141,7 @@ def compile_tm(ntm: NTM) -> CompiledTM:
     # at most one tuple per relation per step
     for col_a, col_b in (("X", "X2"), ("Y", "Y2")):
         add(
-            f"error :- stage(1), tape(A, X, Y, Z, V), "
+            "error :- stage(1), tape(A, X, Y, Z, V), "
             f"tape(A2, X2, Y2, Z2, V2), {col_a} <> {col_b};"
         )
     add(f"error :- {cont}, index(X), index(Y), X <> Y;")
@@ -163,7 +163,7 @@ def compile_tm(ntm: NTM) -> CompiledTM:
     )
     add(
         f"error :- {cont}, index(B), past-index(A), NOT past-oldindex(A), "
-        f"NOT oldindex(A);"
+        "NOT oldindex(A);"
     )
     add(f"error :- {cont}, oldindex(A), NOT past-index(A);")
     add(f"error :- {cont}, oldindex(A), past-oldindex(A);")
@@ -173,22 +173,22 @@ def compile_tm(ntm: NTM) -> CompiledTM:
     # (1) a unique stamp per input configuration
     add(
         f"error :- {stage2}, tape(A, X, Y, Z, V), "
-        f"tape(A2, X2, Y2, Z2, V2), A <> A2;"
+        "tape(A2, X2, Y2, Z2, V2), A <> A2;"
     )
     # unique content per index pair within the input configuration
     add(
         f"error :- {stage2}, tape(A, X, Y, Z, V), tape(A, X, Y, Z2, V2), "
-        f"Z <> Z2;"
+        "Z <> Z2;"
     )
     add(
         f"error :- {stage2}, tape(A, X, Y, Z, V), tape(A, X, Y, Z2, V2), "
-        f"V <> V2;"
+        "V <> V2;"
     )
     # stamps come from the index pool and are fresh
     add(f"error :- {stage2}, tape(A, X, Y, Z, V), NOT past-index(A);")
     add(
         f"error :- {stage2}, tape(A, X, Y, Z, V), "
-        f"past-tape(A, X2, Y2, Z2, V2);"
+        "past-tape(A, X2, Y2, Z2, V2);"
     )
     # (2')/(3') index pairs of the input = index pairs of the chain
     add(
@@ -198,7 +198,7 @@ def compile_tm(ntm: NTM) -> CompiledTM:
     )
     add(
         f"error :- {stage2}, tape(A, X2, Y2, Z2, V2), "
-        f"past-tape(0, X, Y, Z, V), "
+        "past-tape(0, X, Y, Z, V), "
         + _not_tape_all_contents("A", "X", "Y", contents, marks)
         + ";"
     )
@@ -211,7 +211,7 @@ def compile_tm(ntm: NTM) -> CompiledTM:
     # the input stamp must BE that successor
     add(
         f"error :- {stage2}, {phi_next('A', 'B')}, tape(A2, X, Y, Z, V), "
-        f"A2 <> B;"
+        "A2 <> B;"
     )
     # (7)/(8) exactly one move per stage-2 step
     add(f"error :- {stage2}, move(X), move(Y), X <> Y;")
@@ -300,7 +300,7 @@ def compile_tm(ntm: NTM) -> CompiledTM:
                 f"error :- {gate}, {head}, "
                 f"past-tape(A, X0, Y0, Z0, {NO_HEAD}), "
                 f"past-tape(A, Y0, Y1, Z1, {NO_HEAD}), "
-                f"NOT past-oldindex(Y1), Y0 <> X1, "
+                "NOT past-oldindex(Y1), Y0 <> X1, "
                 f"NOT tape(B, Y0, Y1, Z1, {NO_HEAD});"
             )
             # frame for cell 0 when the head is not at cell 1
@@ -317,7 +317,7 @@ def compile_tm(ntm: NTM) -> CompiledTM:
     add(f"error :- {stage3}, cell(X), past-cell(X);")
     add(
         f"error :- {stage3}, past-stage(3), past-cell(A), "
-        f"past-tape(A2, A, B, Z, V), NOT past-cell(B), NOT cell(B);"
+        "past-tape(A2, A, B, Z, V), NOT past-cell(B), NOT cell(B);"
     )
     # output rules: the letters of the halted tape, in chain order
     for symbol in contents:

@@ -10,7 +10,7 @@ generate finite/regular languages, so bounds are easy to pick).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 BLANK = "b"

@@ -14,7 +14,7 @@ database's active domain exhaustively, so it is exact within the bound
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.core.spocus import SpocusTransducer
 from repro.relalg.instance import Instance

@@ -6,6 +6,12 @@ right amount), occasionally mistype prices, ask for reminders, or pay
 twice.  :func:`random_log` runs a session and returns its log, with an
 optional tampering step that forges the kind of fraudulent logs the
 log-validation experiments (E4) must reject.
+
+:func:`simulate_concurrent_customers` scales the same generator up to
+store-wide traffic: thousands of independent customer sessions driven
+round-robin through a :class:`~repro.runtime.engine.MultiSessionEngine`
+over one shared catalog, which is the load shape of the E16 throughput
+benchmark.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.commerce.catalog import Catalog
 from repro.core.run import Run
 from repro.core.spocus import SpocusTransducer
 from repro.relalg.instance import Instance
+from repro.runtime.engine import MultiSessionEngine
 
 
 @dataclass
@@ -98,6 +105,76 @@ def random_log(
     inputs = generator.session(length)
     run = transducer.run(catalog.as_database(), inputs)
     return run, run.logs
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Outcome of :func:`simulate_concurrent_customers`.
+
+    ``metrics`` is the engine's deterministic-key counter snapshot
+    (sessions/s, steps/s, latencies); ``sample_log_lengths`` is the log
+    length of the first few sessions, a cheap sanity signal that every
+    session really ran its whole script.
+    """
+
+    sessions: int
+    steps_per_session: int
+    total_steps: int
+    metrics: dict
+    sample_log_lengths: tuple[int, ...]
+
+
+def simulate_concurrent_customers(
+    transducer: SpocusTransducer,
+    catalog: Catalog,
+    sessions: int = 1000,
+    steps_per_session: int = 8,
+    seed: int = 0,
+    error_rate: float = 0.1,
+    keep_logs: bool = False,
+    sample_sessions: int = 4,
+) -> WorkloadReport:
+    """Run ``sessions`` independent shopping sessions over one catalog.
+
+    Each customer gets their own seeded :class:`SessionGenerator`
+    script; the engine interleaves all sessions round-robin, simulating
+    concurrent store traffic against the shared (indexed) catalog.
+    ``keep_logs`` retains per-session logs -- leave it off for pure
+    throughput runs, or sample a few sessions with ``sample_sessions``.
+    """
+    supports_pending = "pending-bills" in transducer.schema.inputs
+    engine = MultiSessionEngine(
+        transducer, catalog.as_database(), keep_logs=keep_logs
+    )
+    workload: dict[int, list[dict[str, set[tuple]]]] = {}
+    sampled: list[int] = []
+    for customer in range(sessions):
+        generator = SessionGenerator(
+            catalog,
+            seed=seed * 1_000_003 + customer,
+            error_rate=error_rate,
+            supports_pending_bills=supports_pending,
+        )
+        session_id = engine.create_session()
+        workload[session_id] = generator.session(steps_per_session)
+        if customer < sample_sessions:
+            sampled.append(session_id)
+    engine.drive(workload, round_robin=True)
+    if keep_logs:
+        sample_lengths = tuple(
+            len(engine.session(sid).log()) for sid in sorted(sampled)
+        )
+    else:
+        sample_lengths = tuple(
+            engine.session(sid).steps for sid in sorted(sampled)
+        )
+    return WorkloadReport(
+        sessions=sessions,
+        steps_per_session=steps_per_session,
+        total_steps=engine.metrics.steps_executed,
+        metrics=engine.metrics.snapshot(),
+        sample_log_lengths=sample_lengths,
+    )
 
 
 def tamper_log(

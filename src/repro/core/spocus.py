@@ -24,7 +24,7 @@ proves makes log validity undecidable.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import SchemaError, SpocusViolation
 from repro.core.schema import TransducerSchema
@@ -34,10 +34,26 @@ from repro.datalog.evaluate import evaluate_program
 from repro.datalog.parser import parse_program
 from repro.datalog.safety import check_rule_safety
 from repro.errors import SafetyError
+from repro.relalg.indexes import FactStore
 from repro.relalg.instance import Instance
 from repro.relalg.schema import DatabaseSchema, RelationSchema
 
 PAST_PREFIX = "past-"
+
+
+def _step_store(
+    transducer: RelationalTransducer,
+    inputs: Instance,
+    state: Instance,
+    database: Instance,
+) -> FactStore:
+    """Per-step fact store: input/state facts over the shared database."""
+    local: dict[str, frozenset[tuple]] = {}
+    for name in inputs.schema.names:
+        local[name] = inputs[name]
+    for name in state.schema.names:
+        local[name] = state[name]
+    return FactStore(local, base=transducer.database_store(database))
 
 
 def past(name: str) -> str:
@@ -157,13 +173,10 @@ class SpocusTransducer(RelationalTransducer):
     def output_function(
         self, inputs: Instance, state: Instance, database: Instance
     ) -> Instance:
-        facts: dict[str, frozenset[tuple]] = {}
-        for name in inputs.schema.names:
-            facts[name] = inputs[name]
-        for name in state.schema.names:
-            facts[name] = state[name]
-        for name in database.schema.names:
-            facts[name] = database[name]
+        # The small per-step input/state facts are layered over the
+        # (cached, lazily indexed) database store, so catalog indexes
+        # are built once per database rather than once per step.
+        facts = _step_store(self, inputs, state, database)
         derived = evaluate_program(self._program, facts)
         return Instance(
             self.schema.outputs,
@@ -267,13 +280,7 @@ class ExtendedStateTransducer(RelationalTransducer):
     def state_function(
         self, inputs: Instance, state: Instance, database: Instance
     ) -> Instance:
-        facts: dict[str, frozenset[tuple]] = {}
-        for name in inputs.schema.names:
-            facts[name] = inputs[name]
-        for name in state.schema.names:
-            facts[name] = state[name]
-        for name in database.schema.names:
-            facts[name] = database[name]
+        facts = _step_store(self, inputs, state, database)
         plain = Program(
             tuple(
                 Rule(rule.head, rule.body, cumulative=False)
@@ -290,13 +297,7 @@ class ExtendedStateTransducer(RelationalTransducer):
     def output_function(
         self, inputs: Instance, state: Instance, database: Instance
     ) -> Instance:
-        facts: dict[str, frozenset[tuple]] = {}
-        for name in inputs.schema.names:
-            facts[name] = inputs[name]
-        for name in state.schema.names:
-            facts[name] = state[name]
-        for name in database.schema.names:
-            facts[name] = database[name]
+        facts = _step_store(self, inputs, state, database)
         derived = evaluate_program(self._output_program, facts)
         return Instance(
             self.schema.outputs,

@@ -16,6 +16,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from repro.errors import SchemaError
 from repro.core.run import Run, log_of_step
 from repro.core.schema import TransducerSchema
+from repro.relalg.indexes import FactStore
 from repro.relalg.instance import Instance
 
 
@@ -31,12 +32,39 @@ class RelationalTransducer:
     ``S_i = σ(I_i, S_{i-1}, D)`` and ``O_i = ω(I_i, S_{i-1}, D)``.
     """
 
+    _DB_CACHE_SLOTS = 8
+
     def __init__(self, schema: TransducerSchema) -> None:
         self._schema = schema
+        # id(instance) -> (instance, store); the instance reference keeps
+        # the id stable for as long as the entry lives.
+        self._db_store_cache: dict[int, tuple[Instance, FactStore]] = {}
 
     @property
     def schema(self) -> TransducerSchema:
         return self._schema
+
+    def database_store(self, database: Instance) -> FactStore:
+        """A shared, lazily indexed view of ``database``'s facts.
+
+        Recently seen database instances are cached (keyed by identity,
+        a few slots, oldest evicted), so every step of a run -- and
+        every session of a
+        :class:`~repro.runtime.engine.MultiSessionEngine` stepping over
+        one shared catalog -- reuses the same hash indexes instead of
+        rebuilding them per evaluation, even when one transducer
+        alternates between several databases.
+        """
+        cached = self._db_store_cache.get(id(database))
+        if cached is not None and cached[0] is database:
+            return cached[1]
+        store = FactStore(
+            {name: database[name] for name in database.schema.names}
+        )
+        if len(self._db_store_cache) >= self._DB_CACHE_SLOTS:
+            self._db_store_cache.pop(next(iter(self._db_store_cache)))
+        self._db_store_cache[id(database)] = (database, store)
+        return store
 
     # -- to be provided by subclasses ---------------------------------------------
 

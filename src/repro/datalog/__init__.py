@@ -28,7 +28,12 @@ from repro.datalog.stratify import (
     is_semipositive,
     stratify,
 )
-from repro.datalog.evaluate import evaluate_program, evaluate_rule
+from repro.datalog.evaluate import (
+    evaluate_program,
+    evaluate_program_naive,
+    evaluate_rule,
+    evaluate_rule_naive,
+)
 from repro.datalog.engine import DatalogEngine
 
 __all__ = [
@@ -52,5 +57,7 @@ __all__ = [
     "is_semipositive",
     "evaluate_rule",
     "evaluate_program",
+    "evaluate_rule_naive",
+    "evaluate_program_naive",
     "DatalogEngine",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import RuleError, SchemaError
-from repro.datalog.ast import Program, Rule
+from repro.datalog.ast import Program
 from repro.datalog.evaluate import evaluate_program
 from repro.datalog.parser import parse_program
 from repro.datalog.safety import check_program_safety

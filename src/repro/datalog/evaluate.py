@@ -1,20 +1,34 @@
 """Bottom-up evaluation of datalog programs.
 
-Rule bodies are evaluated by an ordered nested-loop join with early
-filtering: positive atoms extend partial bindings; negated atoms and
-inequalities are checked as soon as their variables are bound.  Programs
-are evaluated stratum by stratum; within a recursive stratum a semi-naive
-fixpoint is run.  Nonrecursive semipositive programs (Spocus output
-programs) take the single-pass path.
+Rule bodies are joined with per-predicate hash indexes
+(:class:`~repro.relalg.indexes.FactStore`): positive atoms are reordered
+greedily by expected selectivity (most bound terms first, smaller
+relations breaking ties), each atom enumerates only the rows compatible
+with the current partial binding via an index lookup, and bindings live
+in a single mutable dict with an undo trail instead of being copied per
+row.  Negated atoms and inequalities are checked as soon as their
+variables are bound.
+
+Programs are evaluated stratum by stratum; within a recursive stratum a
+semi-naive fixpoint is run, re-deriving per iteration only the join
+variants in which some positive occurrence ranges over the previous
+iteration's new tuples.  Nonrecursive semipositive programs (Spocus
+output programs) take the single-pass path.
+
+:func:`evaluate_rule_naive` / :func:`evaluate_program_naive` keep the
+original scan-based nested-loop join as an executable reference; the
+property-based tests cross-check the indexed path against it and the
+benchmarks report the speedup.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from contextlib import contextmanager
+from functools import lru_cache
+from typing import Mapping, Sequence
 
 from repro.errors import EvaluationError
 from repro.datalog.ast import (
-    Atom,
     Constant,
     Inequality,
     NegatedAtom,
@@ -25,13 +39,408 @@ from repro.datalog.ast import (
 )
 from repro.datalog.safety import check_rule_safety
 from repro.datalog.stratify import stratify
+from repro.relalg.indexes import FactStore
 
 Facts = Mapping[str, frozenset[tuple]]
 Binding = dict[Variable, object]
 
+_UNSET = object()
 
-def _match_atom(atom: Atom, row: tuple, binding: Binding) -> Binding | None:
-    """Try to extend ``binding`` so that ``atom`` matches ``row``."""
+
+def _coerce_store(facts: Facts | FactStore) -> FactStore:
+    if isinstance(facts, FactStore):
+        return facts
+    return FactStore(facts)
+
+
+def _term_value(term, binding: Binding):
+    if isinstance(term, Constant):
+        return term.value
+    if term in binding:
+        return binding[term]
+    return _UNSET
+
+
+def _check_bound_literal(
+    literal, binding: Binding, store: FactStore
+) -> bool:
+    """Evaluate a fully-bound negated atom or inequality."""
+    if isinstance(literal, NegatedAtom):
+        row = literal.atom.ground_tuple(binding)
+        return not store.contains(literal.atom.predicate, row)
+    if isinstance(literal, Inequality):
+        return _term_value(literal.left, binding) != _term_value(
+            literal.right, binding
+        )
+    raise EvaluationError(f"not a checkable literal: {literal}")
+
+
+# -- join planning ----------------------------------------------------------------
+
+
+class _AtomInfo:
+    """Precomputed view of one positive body atom."""
+
+    __slots__ = ("index", "atom", "variables", "constant_count")
+
+    def __init__(self, index: int, atom) -> None:
+        self.index = index
+        self.atom = atom
+        self.variables = frozenset(atom.variables())
+        self.constant_count = sum(
+            1 for term in atom.terms if isinstance(term, Constant)
+        )
+
+
+class _RulePlan:
+    """Safety-checked, precomputed join ingredients of one rule.
+
+    Plans are cached per :class:`Rule`, so the per-evaluation work is
+    just the (size-dependent) greedy ordering; check schedules are
+    memoized per ordering.
+    """
+
+    __slots__ = ("rule", "positive", "checks", "pre_checks", "_schedules")
+
+    def __init__(self, rule: Rule) -> None:
+        check_rule_safety(rule)
+        self.rule = rule
+        self.positive = [
+            _AtomInfo(i, l.atom)
+            for i, l in enumerate(
+                l for l in rule.body if isinstance(l, PositiveAtom)
+            )
+        ]
+        checks = [l for l in rule.body if not isinstance(l, PositiveAtom)]
+        self.pre_checks = [c for c in checks if not set(c.variables())]
+        self.checks = [c for c in checks if set(c.variables())]
+        self._schedules: dict[tuple[int, ...], list[list]] = {}
+
+    def schedule(self, order: Sequence[_AtomInfo]) -> list[list]:
+        """``checks_at[i]``: checks to run right after ``order[i]`` matches."""
+        key = tuple(info.index for info in order)
+        cached = self._schedules.get(key)
+        if cached is not None:
+            return cached
+        checks_at: list[list] = [[] for _ in order]
+        bound: set[Variable] = set()
+        bound_by: list[set[Variable]] = []
+        for info in order:
+            bound |= info.variables
+            bound_by.append(set(bound))
+        for check in self.checks:
+            variables = set(check.variables())
+            for i, available in enumerate(bound_by):
+                if variables <= available:
+                    checks_at[i].append(check)
+                    break
+            else:
+                raise EvaluationError(
+                    f"literal {check} has variables not bound by any "
+                    "positive atom"
+                )
+        self._schedules[key] = checks_at
+        return checks_at
+
+
+_plan_cache: dict[Rule, _RulePlan] = {}
+_PLAN_CACHE_LIMIT = 4096
+
+
+def _get_plan(rule: Rule) -> _RulePlan:
+    plan = _plan_cache.get(rule)
+    if plan is None:
+        if len(_plan_cache) >= _PLAN_CACHE_LIMIT:
+            _plan_cache.clear()
+        plan = _RulePlan(rule)
+        _plan_cache[rule] = plan
+    return plan
+
+
+def _order_atoms(
+    positive: Sequence[_AtomInfo],
+    store: FactStore,
+    first: _AtomInfo | None = None,
+) -> list[_AtomInfo]:
+    """Greedy selectivity ordering of the positive body atoms.
+
+    At each step pick the atom with the most terms already bound
+    (constants plus variables bound by earlier atoms); ties go to the
+    atom over the smaller relation, then to body order, which keeps the
+    ordering deterministic.
+    """
+    remaining = list(positive)
+    order: list[_AtomInfo] = []
+    bound: set[Variable] = set()
+    if first is not None:
+        remaining.remove(first)
+        order.append(first)
+        bound.update(first.variables)
+    while remaining:
+        best_index = 0
+        best_score: tuple[int, int] | None = None
+        for i, info in enumerate(remaining):
+            bound_terms = info.constant_count + sum(
+                1 for v in info.variables if v in bound
+            )
+            score = (-bound_terms, store.count(info.atom.predicate))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = i
+        chosen = remaining.pop(best_index)
+        order.append(chosen)
+        bound.update(chosen.variables)
+    return order
+
+
+def _candidate_rows(atom, binding: Binding, store: FactStore):
+    """The rows of ``atom``'s relation compatible with ``binding``.
+
+    Uses a hash-index lookup on the bound positions; falls back to a
+    membership test when every position is bound and to a full scan when
+    none is.
+    """
+    positions: list[int] = []
+    key: list = []
+    for i, term in enumerate(atom.terms):
+        value = _term_value(term, binding)
+        if value is not _UNSET:
+            positions.append(i)
+            key.append(value)
+    if len(positions) == len(atom.terms):
+        row = tuple(key)
+        if store.contains(atom.predicate, row):
+            return (row,)
+        return ()
+    if positions:
+        return store.lookup(atom.predicate, tuple(positions), tuple(key))
+    return store.rows(atom.predicate)
+
+
+def _match_into(
+    atom, row: tuple, binding: Binding, trail: list[Variable]
+) -> bool:
+    """Extend ``binding`` in place so ``atom`` matches ``row``.
+
+    Newly bound variables are pushed on ``trail``; on mismatch the
+    caller unwinds via :func:`_undo_to`.  Index lookups already filtered
+    on the bound positions, so this only binds fresh variables and
+    re-checks repeated ones.
+    """
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return False
+        else:
+            bound = binding.get(term, _UNSET)
+            if bound is _UNSET:
+                binding[term] = value
+                trail.append(term)
+            elif bound != value:
+                return False
+    return True
+
+
+def _undo_to(binding: Binding, trail: list[Variable], mark: int) -> None:
+    while len(trail) > mark:
+        del binding[trail.pop()]
+
+
+def _join(
+    plan: _RulePlan,
+    store: FactStore,
+    derived: set[tuple],
+    first: _AtomInfo | None = None,
+    first_rows=None,
+) -> None:
+    """Run the indexed join for one rule, adding head tuples to ``derived``.
+
+    With ``first``/``first_rows`` given, that occurrence is evaluated
+    first and enumerates only ``first_rows`` (the semi-naive delta
+    restriction); the other atoms read the full store.
+    """
+    for check in plan.pre_checks:
+        if not _check_bound_literal(check, {}, store):
+            return
+    order = _order_atoms(plan.positive, store, first=first)
+    checks_at = plan.schedule(order)
+    head = plan.rule.head
+    binding: Binding = {}
+    trail: list[Variable] = []
+    depth = len(order)
+
+    def extend(index: int) -> None:
+        if index == depth:
+            derived.add(head.ground_tuple(binding))
+            return
+        atom = order[index].atom
+        if index == 0 and first_rows is not None:
+            candidates = first_rows
+        else:
+            candidates = _candidate_rows(atom, binding, store)
+        slot_checks = checks_at[index]
+        for row in candidates:
+            if len(row) != atom.arity:
+                continue
+            mark = len(trail)
+            if _match_into(atom, row, binding, trail):
+                if all(
+                    _check_bound_literal(check, binding, store)
+                    for check in slot_checks
+                ):
+                    extend(index + 1)
+            _undo_to(binding, trail, mark)
+
+    extend(0)
+
+
+# -- public API -------------------------------------------------------------------
+
+
+def evaluate_rule(
+    rule: Rule,
+    facts: Facts | FactStore,
+    delta: Facts | None = None,
+) -> frozenset[tuple]:
+    """Evaluate one rule against ``facts``; return derived head tuples.
+
+    With ``delta`` given, performs the semi-naive version: one join
+    variant per positive occurrence whose predicate has delta rows, with
+    that occurrence restricted to the delta (used inside recursive
+    strata).  Negated atoms are always evaluated against the full
+    ``facts``.
+    """
+    plan = _get_plan(rule)
+    store = _coerce_store(facts)
+    derived: set[tuple] = set()
+
+    if not plan.positive:
+        # Body is empty or has only checks over constants.  A delta pass
+        # can never use such a rule (no positive occurrence to restrict).
+        if delta is not None:
+            return frozenset()
+        if all(
+            _check_bound_literal(c, {}, store) for c in plan.pre_checks
+        ):
+            derived.add(rule.head.ground_tuple({}))
+        return frozenset(derived)
+
+    if delta is None:
+        _join(plan, store, derived)
+        return frozenset(derived)
+
+    for info in plan.positive:
+        delta_rows = delta.get(info.atom.predicate)
+        if not delta_rows:
+            continue
+        _join(plan, store, derived, first=info, first_rows=delta_rows)
+    return frozenset(derived)
+
+
+def evaluate_program(
+    program: Program,
+    edb_facts: Facts | FactStore,
+    max_iterations: int = 100_000,
+) -> dict[str, frozenset[tuple]]:
+    """Evaluate a stratified program; return all facts (EDB + derived).
+
+    The program is stratified; each stratum is run to fixpoint with
+    semi-naive iteration (a single pass suffices for nonrecursive
+    strata).  The result maps every predicate, including EDB ones, to
+    its final set of tuples.
+
+    ``edb_facts`` may be a plain mapping or a pre-indexed
+    :class:`~repro.relalg.indexes.FactStore`; a store is layered over,
+    never mutated, so its indexes (e.g. over a large shared catalog) are
+    reused across evaluations.
+    """
+    if _FORCE_NAIVE:
+        mapping = (
+            edb_facts.as_dict()
+            if isinstance(edb_facts, FactStore)
+            else edb_facts
+        )
+        return evaluate_program_naive(program, mapping, max_iterations)
+    if isinstance(edb_facts, FactStore):
+        store = FactStore(base=edb_facts)
+    else:
+        store = FactStore(edb_facts)
+    idb = program.head_predicates()
+    for predicate in idb:
+        store.ensure(predicate)
+
+    for stratum in _stratify_cached(program):
+        stratum_rules = [
+            (r, r.body_predicates())
+            for r in program
+            if r.head.predicate in stratum & idb
+        ]
+        if not stratum_rules:
+            continue
+        # First full pass.
+        delta: dict[str, frozenset[tuple]] = {}
+        for rule, _preds in stratum_rules:
+            fresh = store.add(rule.head.predicate, evaluate_rule(rule, store))
+            if fresh:
+                delta[rule.head.predicate] = (
+                    delta.get(rule.head.predicate, frozenset()) | fresh
+                )
+        # Semi-naive iteration to fixpoint.
+        iterations = 0
+        while delta:
+            iterations += 1
+            if iterations > max_iterations:
+                raise EvaluationError("fixpoint iteration budget exceeded")
+            next_delta: dict[str, frozenset[tuple]] = {}
+            for rule, body_preds in stratum_rules:
+                if not (body_preds & set(delta)):
+                    continue
+                fresh = store.add(
+                    rule.head.predicate,
+                    evaluate_rule(rule, store, delta=delta),
+                )
+                if fresh:
+                    next_delta[rule.head.predicate] = (
+                        next_delta.get(rule.head.predicate, frozenset())
+                        | fresh
+                    )
+            delta = next_delta
+    return store.as_dict()
+
+
+@lru_cache(maxsize=256)
+def _stratify_cached(program: Program) -> list[set[str]]:
+    """Stratification is purely syntactic; cache it per program so hot
+    paths (one evaluation per transducer step) don't recompute it."""
+    return stratify(program)
+
+
+# -- scan-based reference implementation ------------------------------------------
+
+_FORCE_NAIVE = False
+
+
+@contextmanager
+def naive_evaluation():
+    """Route :func:`evaluate_program` through the scan-based reference.
+
+    Benchmark/testing hook: everything built on the evaluator (Spocus
+    transducers, the runtime engine) transparently falls back to the
+    original nested-loop join inside this context, which is how the
+    index-vs-scan speedups and equivalence checks are measured end to
+    end.  Not thread-safe; intended for benchmarks and tests only.
+    """
+    global _FORCE_NAIVE
+    saved = _FORCE_NAIVE
+    _FORCE_NAIVE = True
+    try:
+        yield
+    finally:
+        _FORCE_NAIVE = saved
+
+
+def _match_atom(atom, row: tuple, binding: Binding) -> Binding | None:
+    """Copying variant of :func:`_match_into` kept for the naive path."""
     if len(row) != atom.arity:
         return None
     extended = dict(binding)
@@ -48,66 +457,44 @@ def _match_atom(atom: Atom, row: tuple, binding: Binding) -> Binding | None:
     return extended
 
 
-_UNSET = object()
-
-
-def _term_value(term, binding: Binding):
-    if isinstance(term, Constant):
-        return term.value
-    if term in binding:
-        return binding[term]
-    return _UNSET
-
-
-def _literal_ready(literal, binding: Binding) -> bool:
-    """True when all of the literal's variables are bound."""
-    return all(v in binding for v in literal.variables())
-
-
-def _check_bound_literal(literal, binding: Binding, facts: Facts) -> bool:
-    """Evaluate a fully-bound negated atom or inequality."""
+def _check_bound_literal_mapping(
+    literal, binding: Binding, facts: Facts
+) -> bool:
+    """Mapping-backed twin of :func:`_check_bound_literal` (naive path)."""
     if isinstance(literal, NegatedAtom):
         row = literal.atom.ground_tuple(binding)
         return row not in facts.get(literal.atom.predicate, frozenset())
     if isinstance(literal, Inequality):
-        left = _term_value(literal.left, binding)
-        right = _term_value(literal.right, binding)
-        return left != right
+        return _term_value(literal.left, binding) != _term_value(
+            literal.right, binding
+        )
     raise EvaluationError(f"not a checkable literal: {literal}")
 
 
-def evaluate_rule(
+def evaluate_rule_naive(
     rule: Rule,
     facts: Facts,
     delta: Facts | None = None,
 ) -> frozenset[tuple]:
-    """Evaluate one rule against ``facts``; return derived head tuples.
-
-    With ``delta`` given, performs the semi-naive version: at least one
-    positive atom must match a delta fact (used inside recursive strata).
-    Negated atoms are always evaluated against the full ``facts``.
-    """
+    """The original nested-loop join: full scan per atom, dict copied per
+    row, atoms in body order.  Reference semantics for cross-checks and
+    the baseline of the indexing benchmarks."""
     check_rule_safety(rule)
     positive = [l for l in rule.body if isinstance(l, PositiveAtom)]
     checks = [l for l in rule.body if not isinstance(l, PositiveAtom)]
-
     derived: set[tuple] = set()
 
-    def run_checks(binding: Binding, pending: list) -> list:
-        """Evaluate every check whose variables just became bound.
-
-        Returns the still-pending checks, or None to signal failure.
-        """
+    def run_checks(binding: Binding, pending: list) -> list | None:
         remaining = []
         for literal in pending:
-            if _literal_ready(literal, binding):
-                if not _check_bound_literal(literal, binding, facts):
-                    return None  # type: ignore[return-value]
+            if all(v in binding for v in literal.variables()):
+                if not _check_bound_literal_mapping(literal, binding, facts):
+                    return None
             else:
                 remaining.append(literal)
         return remaining
 
-    def extend(index: int, binding: Binding, pending: list, used_delta: bool) -> None:
+    def extend(index: int, binding: Binding, pending: list, used_delta: bool):
         if index == len(positive):
             if pending:
                 unbound = {
@@ -120,13 +507,7 @@ def evaluate_rule(
                 derived.add(rule.head.ground_tuple(binding))
             return
         atom = positive[index].atom
-        sources: list[tuple[frozenset[tuple], bool]] = [
-            (facts.get(atom.predicate, frozenset()), False)
-        ]
-        # Semi-naive: additionally try only-delta rows when no delta row
-        # has been used yet.  (Delta rows are included in facts already;
-        # the flag tracks whether some delta row was used.)
-        for row in sources[0][0]:
+        for row in facts.get(atom.predicate, frozenset()):
             is_delta = bool(
                 delta and row in delta.get(atom.predicate, frozenset())
             )
@@ -139,29 +520,21 @@ def evaluate_rule(
             extend(index + 1, extended, still_pending, used_delta or is_delta)
 
     if not positive:
-        # Body is empty or has only checks over constants.
-        binding: Binding = {}
-        pending = run_checks(binding, list(checks))
-        if pending is not None and not pending:
-            derived.add(rule.head.ground_tuple(binding))
+        pending = run_checks({}, list(checks))
+        if pending is not None and not pending and delta is None:
+            derived.add(rule.head.ground_tuple({}))
         return frozenset(derived)
 
     extend(0, {}, list(checks), False)
     return frozenset(derived)
 
 
-def evaluate_program(
+def evaluate_program_naive(
     program: Program,
     edb_facts: Facts,
     max_iterations: int = 100_000,
 ) -> dict[str, frozenset[tuple]]:
-    """Evaluate a stratified program; return all facts (EDB + derived).
-
-    The program is stratified; each stratum is run to fixpoint with
-    semi-naive iteration (a single pass suffices for nonrecursive
-    strata).  The result maps every predicate, including EDB ones, to its
-    final set of tuples.
-    """
+    """Stratified fixpoint over :func:`evaluate_rule_naive` (seed path)."""
     facts: dict[str, frozenset[tuple]] = {
         name: frozenset(rows) for name, rows in edb_facts.items()
     }
@@ -175,17 +548,15 @@ def evaluate_program(
         ]
         if not stratum_rules:
             continue
-        # First full pass.
         delta: dict[str, frozenset[tuple]] = {}
         for rule in stratum_rules:
-            new_rows = evaluate_rule(rule, facts)
+            new_rows = evaluate_rule_naive(rule, facts)
             fresh = new_rows - facts[rule.head.predicate]
             if fresh:
                 facts[rule.head.predicate] |= fresh
                 delta[rule.head.predicate] = (
                     delta.get(rule.head.predicate, frozenset()) | fresh
                 )
-        # Semi-naive iteration to fixpoint.
         iterations = 0
         while delta:
             iterations += 1
@@ -195,12 +566,13 @@ def evaluate_program(
             for rule in stratum_rules:
                 if not (rule.body_predicates() & set(delta)):
                     continue
-                new_rows = evaluate_rule(rule, facts, delta=delta)
+                new_rows = evaluate_rule_naive(rule, facts, delta=delta)
                 fresh = new_rows - facts[rule.head.predicate]
                 if fresh:
                     facts[rule.head.predicate] |= fresh
                     next_delta[rule.head.predicate] = (
-                        next_delta.get(rule.head.predicate, frozenset()) | fresh
+                        next_delta.get(rule.head.predicate, frozenset())
+                        | fresh
                     )
             delta = next_delta
     return facts

@@ -113,7 +113,6 @@ class SatSolver:
         def propagate(queue: list[int]) -> bool:
             """Assign queued literals and propagate; False on conflict."""
             nonlocal stats_propagations
-            head = 0
             for lit in queue:
                 current = lit_value(lit)
                 if current is False:

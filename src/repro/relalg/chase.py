@@ -23,7 +23,7 @@ from repro.relalg.dependencies import (
     violations_fd,
     violations_ind,
 )
-from repro.relalg.domain import LabeledNull, fresh_null, is_null
+from repro.relalg.domain import fresh_null, is_null
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""Hash indexes over fact collections.
+
+A :class:`FactStore` holds the facts of a set of predicates and builds,
+lazily and per bound-position pattern, hash indexes over them: the index
+for predicate ``p`` on positions ``(0, 2)`` maps ``(row[0], row[2])`` to
+the rows with those values.  The datalog evaluator asks for exactly the
+rows compatible with a partial binding instead of scanning the whole
+relation, which turns the inner loops of a join from O(|relation|) into
+O(matching rows).
+
+Stores are *insert-only*: :meth:`add` may only grow a predicate, never
+shrink it, which lets existing indexes be maintained incrementally (new
+rows are appended to their buckets) instead of rebuilt.  Insert-only is
+all datalog fixpoints and cumulative Spocus state need.
+
+A store may *layer* over a read-only ``base`` store.  Predicates not
+present locally are served -- rows, indexes, and all -- by the base;
+adding facts for such a predicate first copies its rows into the local
+layer (copy-on-write), leaving the base untouched.  This is how one
+indexed catalog database is shared by every evaluation of every session
+in :mod:`repro.runtime`: the engine indexes the catalog once, and each
+transducer step layers its small input/state facts on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+Positions = tuple[int, ...]
+Key = tuple
+_Buckets = dict[Key, list[tuple]]
+
+
+class FactStore:
+    """Indexed, insert-only collection of facts, optionally layered.
+
+    ``facts`` seeds the local layer; ``base`` is an optional read-only
+    store consulted for predicates the local layer does not define.
+    """
+
+    __slots__ = ("_rows", "_indexes", "_base", "_frozen_cache")
+
+    def __init__(
+        self,
+        facts: Mapping[str, Iterable[tuple]] | None = None,
+        base: "FactStore | None" = None,
+    ) -> None:
+        # Frozensets are adopted by reference (they are immutable, and
+        # the hot path hands us per-step Instance relations); anything
+        # else is defensively copied.  add() converts to a mutable set
+        # on first write.
+        self._rows: dict[str, set[tuple] | frozenset[tuple]] = {}
+        self._indexes: dict[str, dict[Positions, _Buckets]] = {}
+        self._base = base
+        self._frozen_cache: dict[str, frozenset[tuple]] = {}
+        if facts:
+            for name, rows in facts.items():
+                if isinstance(rows, frozenset):
+                    self._rows[name] = rows
+                else:
+                    self._rows[name] = {tuple(row) for row in rows}
+
+    # -- read side -------------------------------------------------------------
+
+    @property
+    def base(self) -> "FactStore | None":
+        return self._base
+
+    def predicates(self) -> set[str]:
+        """All predicates with facts (or registered empty) in any layer."""
+        names = set(self._rows)
+        if self._base is not None:
+            names |= self._base.predicates()
+        return names
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._rows or (
+            self._base is not None and predicate in self._base
+        )
+
+    def rows(self, predicate: str) -> set[tuple] | frozenset[tuple]:
+        """All rows of ``predicate`` (empty for unknown predicates)."""
+        local = self._rows.get(predicate)
+        if local is not None:
+            return local
+        if self._base is not None:
+            return self._base.rows(predicate)
+        return frozenset()
+
+    def frozen(self, predicate: str) -> frozenset[tuple]:
+        """Immutable snapshot of ``predicate``'s rows, cached per add."""
+        local = self._rows.get(predicate)
+        if local is None:
+            if self._base is not None:
+                return self._base.frozen(predicate)
+            return frozenset()
+        if isinstance(local, frozenset):
+            return local
+        cached = self._frozen_cache.get(predicate)
+        if cached is None:
+            cached = frozenset(local)
+            self._frozen_cache[predicate] = cached
+        return cached
+
+    def count(self, predicate: str) -> int:
+        return len(self.rows(predicate))
+
+    def contains(self, predicate: str, row: tuple) -> bool:
+        return row in self.rows(predicate)
+
+    def lookup(
+        self, predicate: str, positions: Positions, key: Key
+    ) -> tuple[tuple, ...] | list[tuple]:
+        """Rows of ``predicate`` with ``row[p] == key[i]`` at each position.
+
+        Builds the (predicate, positions) index on first use; later calls
+        are hash lookups.  Requests for predicates served by the base
+        layer are delegated so the base's indexes are shared.
+        """
+        if predicate not in self._rows:
+            if self._base is not None:
+                return self._base.lookup(predicate, positions, key)
+            return ()
+        per_pred = self._indexes.setdefault(predicate, {})
+        buckets = per_pred.get(positions)
+        if buckets is None:
+            buckets = {}
+            width = max(positions) + 1 if positions else 0
+            for row in self._rows[predicate]:
+                if len(row) < width:
+                    # Rows too short for the pattern can never match a
+                    # query on these positions (the naive scan path
+                    # skips them via its arity guard).
+                    continue
+                bucket_key = tuple(row[p] for p in positions)
+                buckets.setdefault(bucket_key, []).append(row)
+            per_pred[positions] = buckets
+        return buckets.get(key, ())
+
+    # -- write side ------------------------------------------------------------
+
+    def ensure(self, predicate: str) -> None:
+        """Register ``predicate`` in the local layer (possibly empty)."""
+        if predicate not in self._rows and not (
+            self._base is not None and predicate in self._base
+        ):
+            self._rows[predicate] = set()
+
+    def add(self, predicate: str, rows: Iterable[tuple]) -> frozenset[tuple]:
+        """Add ``rows``; return the subset that was actually new.
+
+        Existing indexes on the predicate are maintained incrementally.
+        If the predicate currently lives in the base layer its rows are
+        first copied locally (the base is never mutated).
+        """
+        local = self._rows.get(predicate)
+        if local is None:
+            if self._base is not None and predicate in self._base:
+                local = set(self._base.rows(predicate))
+            else:
+                local = set()
+            self._rows[predicate] = local
+        elif isinstance(local, frozenset):
+            local = set(local)
+            self._rows[predicate] = local
+        fresh = [row for row in map(tuple, rows) if row not in local]
+        if not fresh:
+            return frozenset()
+        local.update(fresh)
+        self._frozen_cache.pop(predicate, None)
+        for positions, buckets in self._indexes.get(predicate, {}).items():
+            width = max(positions) + 1 if positions else 0
+            for row in fresh:
+                if len(row) < width:
+                    continue
+                bucket_key = tuple(row[p] for p in positions)
+                buckets.setdefault(bucket_key, []).append(row)
+        return frozenset(fresh)
+
+    # -- export ----------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, frozenset[tuple]]:
+        """All facts of all layers as a plain predicate -> rows mapping."""
+        return {name: self.frozen(name) for name in self.predicates()}
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.predicates())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({self.count(name)})" for name in sorted(self.predicates())
+        )
+        return f"FactStore({parts})"

@@ -1,0 +1,150 @@
+"""The multi-session execution engine.
+
+:class:`MultiSessionEngine` runs N independent sessions of one
+transducer over one shared database.  The database is coerced and
+indexed exactly once (via the transducer's
+:meth:`~repro.core.transducer.RelationalTransducer.database_store`
+cache); every session's every evaluation layers its small input/state
+facts over those shared indexes.  This is the byoda-style "many user
+pods, one catalog" shape from PAPERS.md, scaled down to a single
+process: sessions are logically concurrent (any interleaving of
+``step`` calls is valid) even though execution is sequential.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.transducer import InputLike, RelationalTransducer
+from repro.errors import SchemaError
+from repro.relalg.instance import Instance
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.session import Session, SessionLog
+
+
+class MultiSessionEngine:
+    """Create, step, and retire sessions over a shared database.
+
+    ``keep_logs=False`` turns off per-session log retention for
+    load-generation scenarios where only throughput matters.
+    """
+
+    def __init__(
+        self,
+        transducer: RelationalTransducer,
+        database: InputLike,
+        keep_logs: bool = True,
+    ) -> None:
+        self._transducer = transducer
+        self._database = transducer.coerce_database(database)
+        # Warm the shared index cache so the first session does not pay
+        # for it inside a latency measurement.
+        transducer.database_store(self._database)
+        self._keep_logs = keep_logs
+        self._sessions: dict[int, Session] = {}
+        self._next_id = 0
+        self.metrics = RuntimeMetrics()
+
+    # -- session lifecycle -----------------------------------------------------
+
+    @property
+    def database(self) -> Instance:
+        return self._database
+
+    def create_session(self) -> int:
+        """Open a new session; returns its id."""
+        session_id = self._next_id
+        self._next_id += 1
+        self._sessions[session_id] = Session(
+            session_id,
+            self._transducer,
+            self._database,
+            keep_log=self._keep_logs,
+        )
+        self.metrics.record_session()
+        return session_id
+
+    def create_sessions(self, count: int) -> list[int]:
+        return [self.create_session() for _ in range(count)]
+
+    def session(self, session_id: int) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SchemaError(f"no such session: {session_id}") from None
+
+    def session_ids(self) -> list[int]:
+        return sorted(self._sessions)
+
+    def close_session(self, session_id: int) -> SessionLog:
+        """Retire a session; returns its final log."""
+        session = self.session(session_id)
+        del self._sessions[session_id]
+        self.metrics.record_close()
+        return session.log()
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self, session_id: int, inputs: InputLike) -> Instance:
+        """Advance one session by one input instance; return its output."""
+        session = self.session(session_id)
+        started = time.perf_counter()
+        output = session.step(inputs)
+        self.metrics.record_step(time.perf_counter() - started)
+        return output
+
+    def step_batch(
+        self, batch: Iterable[tuple[int, InputLike]]
+    ) -> list[tuple[int, Instance]]:
+        """Advance many sessions; returns (session_id, output) pairs.
+
+        The batch is executed in the given order; sessions may appear
+        multiple times.  Because sessions share nothing but the
+        read-only database, any batching/interleaving produces the same
+        per-session results.
+        """
+        return [
+            (session_id, self.step(session_id, inputs))
+            for session_id, inputs in batch
+        ]
+
+    def run_session(
+        self, session_id: int, input_sequence: Sequence[InputLike]
+    ) -> list[Instance]:
+        """Drive one session through a whole input sequence."""
+        return [self.step(session_id, inputs) for inputs in input_sequence]
+
+    def drive(
+        self,
+        workload: Mapping[int, Sequence[InputLike]],
+        round_robin: bool = True,
+    ) -> None:
+        """Consume per-session input sequences, interleaved or not.
+
+        ``round_robin=True`` alternates between sessions step by step
+        (the concurrent-traffic shape); ``False`` drains each session in
+        turn.
+        """
+        if not round_robin:
+            for session_id in sorted(workload):
+                self.run_session(session_id, workload[session_id])
+            return
+        cursors = {sid: 0 for sid in sorted(workload) if workload[sid]}
+        while cursors:
+            exhausted = []
+            for session_id, position in cursors.items():
+                sequence = workload[session_id]
+                self.step(session_id, sequence[position])
+                if position + 1 >= len(sequence):
+                    exhausted.append(session_id)
+                else:
+                    cursors[session_id] = position + 1
+            for session_id in exhausted:
+                del cursors[session_id]
+
+    def logs(self) -> list[SessionLog]:
+        """Logs of all open sessions, ordered by session id."""
+        return [
+            self._sessions[sid].log() for sid in sorted(self._sessions)
+        ]

@@ -132,7 +132,7 @@ def _find_pointwise_difference(
             sentence = conjoin(conjuncts)
             extra = encoder_two.constants(database=db_instance)
             extra |= encoder_one.constants()
-            result = decide_bsr(sentence, extra_constants=tuple(extra))
+            result = decide_bsr(sentence, extra_constants=tuple(sorted(extra, key=repr)))
             _accumulate(total, result.stats)
             if result.satisfiable:
                 assert result.model is not None

@@ -139,7 +139,7 @@ def _check_conjunct_clause(
         conjuncts.append(encoder.database_axioms(db_instance))
     sentence_fo = conjoin(conjuncts)
     extra = encoder.constants(database=db_instance)
-    result = decide_bsr(sentence_fo, extra_constants=tuple(extra))
+    result = decide_bsr(sentence_fo, extra_constants=tuple(sorted(extra, key=repr)))
     if not result.satisfiable:
         return None
     assert result.model is not None
@@ -222,7 +222,7 @@ def errorfree_contains(
         sentence = conjoin(conjuncts)
         extra = encoder_one.constants(database=db_instance)
         extra |= encoder_two.constants()
-        result = decide_bsr(sentence, extra_constants=tuple(extra))
+        result = decide_bsr(sentence, extra_constants=tuple(sorted(extra, key=repr)))
         if result.satisfiable:
             assert result.model is not None
             witness = decode_input_sequence(second, steps, result.model)

@@ -86,7 +86,7 @@ def is_valid_log(
         conjuncts.append(encoder.database_axioms(db_instance))
     sentence = conjoin(conjuncts)
     extra = encoder.constants(database=db_instance, log=entries)
-    result = decide_bsr(sentence, extra_constants=tuple(extra))
+    result = decide_bsr(sentence, extra_constants=tuple(sorted(extra, key=repr)))
     if not result.satisfiable:
         return LogValidityResult(valid=False, stats=result.stats)
 

@@ -112,7 +112,7 @@ def is_goal_reachable(
     for rows in accumulated.values():
         for row in rows:
             extra |= set(row)
-    result = decide_bsr(sentence, extra_constants=tuple(extra))
+    result = decide_bsr(sentence, extra_constants=tuple(sorted(extra, key=repr)))
     if not result.satisfiable:
         return ReachabilityResult(False, stats=result.stats)
     assert result.model is not None

@@ -139,7 +139,7 @@ def holds_on_all_runs(
     sentence = to_nnf(conjoin(conjuncts))
     extra = encoder.constants(database=db_instance)
     extra |= {v for v in property_formula.constants()}
-    result = decide_bsr(sentence, extra_constants=tuple(extra))
+    result = decide_bsr(sentence, extra_constants=tuple(sorted(extra, key=repr)))
     if not result.satisfiable:
         return TemporalVerdict(True, stats=result.stats)
     assert result.model is not None

@@ -25,7 +25,6 @@ concrete runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
 
 from repro.core.spocus import PAST_PREFIX, SpocusTransducer
 from repro.core.run import Run

@@ -4,7 +4,6 @@ import pytest
 
 from repro.automata import (
     DFA,
-    NFA,
     compile_tm,
     concat,
     from_words,
@@ -20,8 +19,8 @@ from repro.automata import (
     union,
 )
 from repro.automata.propositional import build_abc_example, gen_automaton
-from repro.automata.turing import BLANK, NTM, word_writer_ntm
-from repro.core.acceptors import first_error_step, is_error_free
+from repro.automata.turing import BLANK, word_writer_ntm
+from repro.core.acceptors import is_error_free
 
 
 def words(strings):

@@ -12,7 +12,7 @@ from repro.commerce import (
     random_log,
     removable_log_relations,
 )
-from repro.commerce.models import build_guarded_store, default_database
+from repro.commerce.models import build_guarded_store
 from repro.commerce.workloads import tamper_log
 from repro.core.acceptors import is_error_free
 

@@ -219,8 +219,6 @@ class TestProgramParser:
 
 class TestExtendedStateTransducer:
     def test_projection_accumulates(self):
-        from repro.datalog.parser import parse_program
-
         t = ExtendedStateTransducer(
             inputs=DatabaseSchema.of(r=2),
             state=DatabaseSchema.of(r2=1),

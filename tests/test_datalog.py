@@ -3,14 +3,8 @@
 import pytest
 
 from repro.datalog import (
-    Atom,
     Constant,
     DatalogEngine,
-    Inequality,
-    NegatedAtom,
-    PositiveAtom,
-    Program,
-    Rule,
     Variable,
     check_rule_safety,
     evaluate_program,
@@ -217,6 +211,118 @@ class TestEvaluate:
         facts = evaluate_program(
             program, {"q": frozenset({(1, 1), (1, 2)})}
         )
+        assert facts["p"] == {(1,)}
+
+
+class TestEvaluateEdgeCases:
+    """Edge cases of the indexed evaluator, cross-checked vs the scan path."""
+
+    def both(self, source, facts):
+        from repro.datalog import evaluate_program_naive
+
+        program = parse_program(source)
+        indexed = evaluate_program(program, facts)
+        naive = evaluate_program_naive(program, facts)
+        assert indexed == naive
+        return indexed
+
+    def test_negated_atom_binding_late(self):
+        # The negation's variable Y is bound only by the *last* body atom
+        # in written order; the check must wait for it.
+        facts = self.both(
+            "p(X, Y) :- q(X), NOT r(X, Y), s(Y);",
+            {
+                "q": frozenset({(1,), (2,)}),
+                "s": frozenset({(8,), (9,)}),
+                "r": frozenset({(1, 8)}),
+            },
+        )
+        assert facts["p"] == {(1, 9), (2, 8), (2, 9)}
+
+    def test_inequality_constants_both_sides(self):
+        facts = self.both(
+            "p(X) :- q(X), 1 <> 2; r(X) :- q(X), 3 <> 3;",
+            {"q": frozenset({(7,)})},
+        )
+        assert facts["p"] == {(7,)}
+        assert facts["r"] == frozenset()
+
+    def test_inequality_constant_vs_variable(self):
+        facts = self.both(
+            "p(X) :- q(X), X <> 1;",
+            {"q": frozenset({(1,), (2,)})},
+        )
+        assert facts["p"] == {(2,)}
+
+    def test_empty_relation_in_recursive_stratum(self):
+        facts = self.both(
+            "t(X, Y) :- e(X, Y); t(X, Z) :- t(X, Y), e(Y, Z);",
+            {"e": frozenset()},
+        )
+        assert facts["t"] == frozenset()
+
+    def test_recursion_with_empty_side_relation(self):
+        facts = self.both(
+            """
+            t(X, Y) :- e(X, Y);
+            t(X, Z) :- t(X, Y), bridge(Y, W), e(W, Z);
+            """,
+            {"e": frozenset({(1, 2), (2, 3)}), "bridge": frozenset()},
+        )
+        assert facts["t"] == {(1, 2), (2, 3)}
+
+    def test_negation_of_empty_relation(self):
+        facts = self.both(
+            "p(X) :- q(X), NOT r(X);",
+            {"q": frozenset({(1,)}), "r": frozenset()},
+        )
+        assert facts["p"] == {(1,)}
+
+    def test_idb_predicate_with_seed_facts(self):
+        # Facts supplied for a predicate that also has rules.
+        facts = self.both(
+            "t(X, Y) :- e(X, Y); t(X, Z) :- t(X, Y), t(Y, Z);",
+            {"e": frozenset({(1, 2)}), "t": frozenset({(2, 3)})},
+        )
+        assert facts["t"] == {(1, 2), (2, 3), (1, 3)}
+
+    def test_repeated_variable_with_partial_binding(self):
+        facts = self.both(
+            "p(X, Y) :- q(X), r(X, Y, Y);",
+            {
+                "q": frozenset({(1,), (2,)}),
+                "r": frozenset({(1, 5, 5), (1, 5, 6), (2, 7, 7)}),
+            },
+        )
+        assert facts["p"] == {(1, 5), (2, 7)}
+
+    def test_arity_mismatched_facts_tolerated(self):
+        # Facts of the wrong arity never match an atom; the indexed
+        # path must agree with the scan path instead of crashing on
+        # them during index construction.
+        facts = self.both(
+            "p(X) :- a(Y), q(X, Y);",
+            {"a": frozenset({(5,)}), "q": frozenset({(1,), (2, 5)})},
+        )
+        assert facts["p"] == {(2,)}
+
+    def test_evaluate_over_prebuilt_store(self):
+        from repro.relalg import FactStore
+
+        store = FactStore({"q": {(1,), (2,)}})
+        program = parse_program("p(X) :- q(X), X <> 1;")
+        facts = evaluate_program(program, store)
+        assert facts["p"] == {(2,)}
+        # The input store is layered over, not mutated.
+        assert store.predicates() == {"q"}
+
+    def test_naive_context_manager_routes_program_evaluation(self):
+        from repro.datalog.evaluate import _FORCE_NAIVE, naive_evaluation
+
+        assert not _FORCE_NAIVE
+        program = parse_program("p(X) :- q(X);")
+        with naive_evaluation():
+            facts = evaluate_program(program, {"q": frozenset({(1,)})})
         assert facts["p"] == {(1,)}
 
 

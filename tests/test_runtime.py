@@ -1,0 +1,169 @@
+"""Tests for the multi-session runtime: sessions, engine, metrics."""
+
+import pytest
+
+from repro.commerce.catalog import CatalogGenerator
+from repro.commerce.models import (
+    FIGURE1_INPUTS,
+    build_friendly,
+    build_short,
+    default_database,
+)
+from repro.commerce.workloads import (
+    SessionGenerator,
+    simulate_concurrent_customers,
+)
+from repro.errors import SchemaError
+from repro.runtime import MultiSessionEngine, RuntimeMetrics
+
+
+@pytest.fixture
+def engine():
+    return MultiSessionEngine(build_short(), default_database())
+
+
+class TestSession:
+    def test_session_matches_run_semantics(self, engine):
+        sid = engine.create_session()
+        outputs = engine.run_session(sid, FIGURE1_INPUTS)
+        run = build_short().run(default_database(), FIGURE1_INPUTS)
+        assert outputs == list(run.outputs)
+        assert list(engine.session(sid).log().entries) == list(run.logs)
+        assert engine.session(sid).state == run.last_state
+
+    def test_step_counter(self, engine):
+        sid = engine.create_session()
+        engine.run_session(sid, FIGURE1_INPUTS)
+        assert engine.session(sid).steps == len(FIGURE1_INPUTS)
+
+    def test_keep_log_off(self):
+        engine = MultiSessionEngine(
+            build_short(), default_database(), keep_logs=False
+        )
+        sid = engine.create_session()
+        engine.run_session(sid, FIGURE1_INPUTS)
+        assert len(engine.session(sid).log()) == 0
+        assert engine.session(sid).steps == len(FIGURE1_INPUTS)
+
+
+class TestEngine:
+    def test_session_ids_are_unique_and_ordered(self, engine):
+        ids = engine.create_sessions(5)
+        assert ids == sorted(set(ids))
+        assert engine.session_ids() == ids
+
+    def test_unknown_session_raises(self, engine):
+        with pytest.raises(SchemaError):
+            engine.step(99, {"order": {("time",)}})
+
+    def test_close_session_returns_log(self, engine):
+        sid = engine.create_session()
+        engine.step(sid, {"order": {("time",)}})
+        log = engine.close_session(sid)
+        assert len(log) == 1
+        assert sid not in engine.session_ids()
+        assert engine.metrics.sessions_closed == 1
+
+    def test_interleaved_equals_sequential(self):
+        """Stepping sessions round-robin gives the same per-session runs
+        as running each session back to back (session isolation)."""
+        transducer = build_friendly()
+        catalog = CatalogGenerator(seed=3).generate(20)
+        scripts = [
+            SessionGenerator(
+                catalog, seed=s, supports_pending_bills=True
+            ).session(5)
+            for s in range(4)
+        ]
+
+        interleaved = MultiSessionEngine(transducer, catalog.as_database())
+        workload = {
+            interleaved.create_session(): script for script in scripts
+        }
+        interleaved.drive(workload, round_robin=True)
+
+        for (sid, script) in workload.items():
+            run = transducer.run(catalog.as_database(), script)
+            assert (
+                list(interleaved.session(sid).log().entries)
+                == list(run.logs)
+            )
+
+    def test_step_batch(self, engine):
+        first, second = engine.create_sessions(2)
+        results = engine.step_batch(
+            [
+                (first, {"order": {("time",)}}),
+                (second, {"order": {("newsweek",)}}),
+                (first, {"pay": {("time", 55)}}),
+            ]
+        )
+        assert [sid for sid, _out in results] == [first, second, first]
+        assert ("time",) in results[2][1]["deliver"]
+
+    def test_drive_tolerates_empty_sequences(self, engine):
+        busy = engine.create_session()
+        idle = engine.create_session()
+        engine.drive({busy: FIGURE1_INPUTS[:1], idle: []}, round_robin=True)
+        assert engine.session(busy).steps == 1
+        assert engine.session(idle).steps == 0
+
+    def test_drive_sequential(self, engine):
+        workload = {
+            engine.create_session(): FIGURE1_INPUTS,
+            engine.create_session(): FIGURE1_INPUTS[:2],
+        }
+        engine.drive(workload, round_robin=False)
+        lengths = sorted(len(log) for log in engine.logs())
+        assert lengths == [2, 4]
+
+
+class TestMetrics:
+    def test_counters(self, engine):
+        sid = engine.create_session()
+        engine.run_session(sid, FIGURE1_INPUTS)
+        metrics = engine.metrics
+        assert metrics.sessions_created == 1
+        assert metrics.steps_executed == 4
+        assert metrics.step_seconds_total > 0
+        assert metrics.step_seconds_min <= metrics.step_seconds_max
+        assert metrics.mean_step_latency() > 0
+
+    def test_snapshot_keys_are_stable(self, engine):
+        snapshot = engine.metrics.snapshot()
+        assert list(snapshot) == sorted(snapshot, key=list(snapshot).index)
+        assert {"steps_per_second", "sessions_per_second"} <= set(snapshot)
+
+    def test_empty_metrics(self):
+        metrics = RuntimeMetrics()
+        assert metrics.mean_step_latency() == 0.0
+        assert metrics.snapshot()["min_step_latency_seconds"] == 0.0
+
+
+class TestWorkloadDriver:
+    def test_simulate_concurrent_customers(self):
+        report = simulate_concurrent_customers(
+            build_friendly(),
+            CatalogGenerator(seed=2).generate(30),
+            sessions=12,
+            steps_per_session=4,
+            seed=5,
+        )
+        assert report.sessions == 12
+        assert report.total_steps == 48
+        assert report.metrics["steps_executed"] == 48
+        assert report.sample_log_lengths == (4, 4, 4, 4)
+
+    def test_workload_is_seed_deterministic(self):
+        kwargs = dict(
+            sessions=6, steps_per_session=3, seed=11, keep_logs=True
+        )
+        catalog = CatalogGenerator(seed=2).generate(10)
+        first = simulate_concurrent_customers(
+            build_short(), catalog, **kwargs
+        )
+        second = simulate_concurrent_customers(
+            build_short(), catalog, **kwargs
+        )
+        assert first.sample_log_lengths == second.sample_log_lengths
+        assert first.total_steps == second.total_steps

@@ -4,10 +4,9 @@ import pytest
 
 from repro.datalog.ast import Constant as C
 from repro.datalog.ast import Variable as V
-from repro.datalog.parser import parse_program
 from repro.errors import VerificationError
 from repro.logic.bsr import decide_bsr
-from repro.logic.fol import Bottom, Not, Or, Rel, conjoin
+from repro.logic.fol import Bottom, Or, Rel, conjoin
 from repro.verify.encoder import (
     RunEncoder,
     decode_input_sequence,

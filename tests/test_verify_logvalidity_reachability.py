@@ -1,7 +1,5 @@
 """Tests for Theorem 3.1 (log validity) and 3.2 (goal reachability)."""
 
-import pytest
-
 from repro.datalog.ast import Variable as V
 from repro.relalg.instance import Instance
 from repro.verify import Goal, is_goal_reachable, is_valid_log
