@@ -1,7 +1,7 @@
 """E16: multi-session runtime throughput and indexed-evaluation speedup.
 
 Drives store-wide traffic -- many independent customer sessions over one
-shared catalog -- through the :mod:`repro.runtime` engine, and compares
+shared catalog -- through the :mod:`repro.pods` service, and compares
 the indexed evaluator against the original scan-based nested-loop join
 (:func:`repro.datalog.evaluate.naive_evaluation`) on the same workload.
 
@@ -26,7 +26,7 @@ from repro.commerce.catalog import CatalogGenerator
 from repro.commerce.models import build_friendly
 from repro.commerce.workloads import simulate_concurrent_customers
 from repro.datalog.evaluate import naive_evaluation
-from repro.runtime import MultiSessionEngine
+from repro.pods import PodService
 
 SEED = 7
 PRODUCTS = 1000
@@ -90,20 +90,20 @@ def test_e16_session_isolation():
     """Interleaved sessions produce the same logs as standalone runs."""
     transducer = build_friendly()
     catalog = CatalogGenerator(seed=1).generate(50)
-    engine = MultiSessionEngine(transducer, catalog.as_database())
+    service = PodService(transducer, catalog.as_database())
     from repro.commerce.workloads import SessionGenerator
 
     scripts = {
-        engine.create_session(): SessionGenerator(
+        service.create_session(): SessionGenerator(
             catalog, seed=s, supports_pending_bills=True
         ).session(6)
         for s in range(5)
     }
-    engine.drive(scripts, round_robin=True)
-    for session_id, script in scripts.items():
+    service.drive(scripts, round_robin=True)
+    for handle, script in scripts.items():
         run = transducer.run(catalog.as_database(), script)
         assert (
-            list(engine.session(session_id).log().entries) == list(run.logs)
+            list(service.session(handle).log().entries) == list(run.logs)
         )
 
 

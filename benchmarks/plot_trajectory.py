@@ -1,0 +1,186 @@
+"""Perf trajectory across all ``BENCH_*.json`` records.
+
+Each perf-relevant PR leaves one ``BENCH_<experiment>.json`` record in
+the repo root (the ROADMAP's bench-trajectory convention).  This tool
+reads them all, prints a table of headline throughput numbers plus any
+speedup/ratio fields, and draws a quick ASCII bar chart so the
+trajectory is visible without leaving the terminal.  With matplotlib
+installed, ``--plot PATH`` also writes a PNG; the dependency is
+optional and soft-failed, since the offline sandbox does not ship it.
+
+Run with::
+
+    python benchmarks/plot_trajectory.py [--root DIR] [--plot PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+HEADLINE_KEYS = ("steps_per_second", "sessions_per_second")
+
+
+def load_records(root: Path) -> list[tuple[str, dict]]:
+    """All (file name, record) pairs, sorted by file name (= experiment)."""
+    records = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            records.append((path.name, json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path.name}: {error}")
+    return records
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def headline_metric(record: dict) -> tuple[str, float] | None:
+    """The record's main throughput number, if it reports one."""
+    for key in HEADLINE_KEYS:
+        value = record.get(key)
+        if _is_number(value):
+            return key, float(value)
+    for key, value in sorted(record.items()):
+        if _is_number(value) and key != "python":
+            return key, float(value)
+    return None
+
+
+def ratio_metrics(record: dict) -> list[tuple[str, float]]:
+    """All speedup/ratio fields of a record (cross-configuration facts)."""
+    return [
+        (key, float(value))
+        for key, value in sorted(record.items())
+        if _is_number(value)
+        and (key.endswith("_speedup") or key.endswith("_ratio"))
+    ]
+
+
+def format_table(records: list[tuple[str, dict]]) -> str:
+    lines = [
+        f"{'record':<22} {'experiment':<28} {'headline':<34} ratios",
+        "-" * 100,
+    ]
+    for name, record in records:
+        experiment = str(record.get("experiment", "?"))
+        metric = headline_metric(record)
+        headline = f"{metric[0]} = {metric[1]:,.1f}" if metric else "-"
+        ratios = ", ".join(f"{k} = {v:g}" for k, v in ratio_metrics(record))
+        lines.append(
+            f"{name:<22} {experiment:<28} {headline:<34} {ratios or '-'}"
+        )
+    return "\n".join(lines)
+
+
+def format_ascii_chart(records: list[tuple[str, dict]], width: int = 50) -> str:
+    """Bar chart of the headline metrics, scaled to the largest."""
+    points = []
+    for name, record in records:
+        metric = headline_metric(record)
+        if metric is not None:
+            points.append((name.removeprefix("BENCH_").removesuffix(".json"),
+                           metric[1]))
+    if not points:
+        return "(no numeric records to chart)"
+    top = max(value for _name, value in points)
+    lines = []
+    for name, value in points:
+        bar = "#" * max(1, round(width * value / top)) if top else ""
+        lines.append(f"{name:>12} | {bar} {value:,.0f}")
+    return "\n".join(lines)
+
+
+def write_png(records: list[tuple[str, dict]], out: Path) -> bool:
+    """Matplotlib rendering of the trajectory; False if unavailable."""
+    try:
+        import matplotlib
+    except ImportError:
+        print("matplotlib not installed; skipping PNG (table above is canonical)")
+        return False
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    labels, values = [], []
+    for name, record in records:
+        metric = headline_metric(record)
+        if metric is not None:
+            labels.append(name.removeprefix("BENCH_").removesuffix(".json"))
+            values.append(metric[1])
+    figure, axes = plt.subplots(figsize=(8, 4))
+    axes.bar(labels, values)
+    axes.set_ylabel("headline throughput (steps/s or equivalent)")
+    axes.set_title("Perf trajectory across BENCH_* records")
+    figure.tight_layout()
+    figure.savefig(out)
+    print(f"wrote {out}")
+    return True
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_headline_prefers_steps_per_second():
+    record = {"python": "3.12", "steps_per_second": 10.0, "other": 3.0}
+    assert headline_metric(record) == ("steps_per_second", 10.0)
+
+
+def test_headline_falls_back_to_any_numeric():
+    assert headline_metric({"python": "3.12", "zeta": 2.5}) == ("zeta", 2.5)
+    assert headline_metric({"python": "3.12"}) is None
+
+
+def test_headline_and_ratios_ignore_booleans():
+    assert headline_metric({"accepted": True, "zeta": 2.5}) == ("zeta", 2.5)
+    assert ratio_metrics({"ok_ratio": True}) == []
+
+
+def test_ratio_metrics_picks_speedups_and_ratios():
+    record = {"index_vs_naive_speedup": 11.2, "sharded_vs_single_ratio": 0.97,
+              "steps_per_second": 5.0}
+    assert ratio_metrics(record) == [
+        ("index_vs_naive_speedup", 11.2),
+        ("sharded_vs_single_ratio", 0.97),
+    ]
+
+
+def test_repo_records_are_loadable():
+    records = load_records(Path(__file__).resolve().parent.parent)
+    assert any(name.startswith("BENCH_e16") for name, _record in records)
+    for _name, record in records:
+        assert headline_metric(record) is not None
+
+
+# -- script entry point -------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding the BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--plot",
+        type=Path,
+        default=None,
+        help="also write a PNG chart here (requires matplotlib)",
+    )
+    args = parser.parse_args()
+    records = load_records(args.root)
+    if not records:
+        print(f"no BENCH_*.json records under {args.root}")
+        return
+    print(format_table(records))
+    print()
+    print(format_ascii_chart(records))
+    if args.plot is not None:
+        write_png(records, args.plot)
+
+
+if __name__ == "__main__":
+    main()

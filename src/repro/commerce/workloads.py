@@ -9,9 +9,10 @@ log-validation experiments (E4) must reject.
 
 :func:`simulate_concurrent_customers` scales the same generator up to
 store-wide traffic: thousands of independent customer sessions driven
-round-robin through a :class:`~repro.runtime.engine.MultiSessionEngine`
-over one shared catalog, which is the load shape of the E16 throughput
-benchmark.
+round-robin through a :class:`~repro.pods.service.PodService` (or,
+with ``shards > 1``, a :class:`~repro.pods.service.ShardedPodService`)
+over one shared catalog, which is the load shape of the E16/E17
+throughput benchmarks.
 """
 
 from __future__ import annotations
@@ -23,8 +24,8 @@ from typing import Sequence
 from repro.commerce.catalog import Catalog
 from repro.core.run import Run
 from repro.core.spocus import SpocusTransducer
+from repro.pods import PodService, SessionHandle, ShardedPodService
 from repro.relalg.instance import Instance
-from repro.runtime.engine import MultiSessionEngine
 
 
 @dataclass
@@ -122,6 +123,7 @@ class WorkloadReport:
     total_steps: int
     metrics: dict
     sample_log_lengths: tuple[int, ...]
+    shards: int = 1
 
 
 def simulate_concurrent_customers(
@@ -133,21 +135,38 @@ def simulate_concurrent_customers(
     error_rate: float = 0.1,
     keep_logs: bool = False,
     sample_sessions: int = 4,
+    shards: int = 1,
+    store_factory=None,
 ) -> WorkloadReport:
     """Run ``sessions`` independent shopping sessions over one catalog.
 
     Each customer gets their own seeded :class:`SessionGenerator`
-    script; the engine interleaves all sessions round-robin, simulating
+    script; the service interleaves all sessions round-robin, simulating
     concurrent store traffic against the shared (indexed) catalog.
     ``keep_logs`` retains per-session logs -- leave it off for pure
     throughput runs, or sample a few sessions with ``sample_sessions``.
+
+    ``shards > 1`` routes the same traffic through a
+    :class:`~repro.pods.service.ShardedPodService` instead (the E17
+    configuration); ``store_factory`` maps a shard index to a
+    :class:`~repro.pods.store.SessionStore` for persistence-backed runs.
     """
     supports_pending = "pending-bills" in transducer.schema.inputs
-    engine = MultiSessionEngine(
-        transducer, catalog.as_database(), keep_logs=keep_logs
-    )
-    workload: dict[int, list[dict[str, set[tuple]]]] = {}
-    sampled: list[int] = []
+    if shards == 1:
+        store = store_factory(0) if store_factory is not None else None
+        service = PodService(
+            transducer, catalog.as_database(), store=store, keep_logs=keep_logs
+        )
+    else:
+        service = ShardedPodService(
+            transducer,
+            catalog.as_database(),
+            shards=shards,
+            keep_logs=keep_logs,
+            store_factory=store_factory,
+        )
+    workload: dict[SessionHandle, list[dict[str, set[tuple]]]] = {}
+    sampled: list[SessionHandle] = []
     for customer in range(sessions):
         generator = SessionGenerator(
             catalog,
@@ -155,25 +174,28 @@ def simulate_concurrent_customers(
             error_rate=error_rate,
             supports_pending_bills=supports_pending,
         )
-        session_id = engine.create_session()
-        workload[session_id] = generator.session(steps_per_session)
+        handle = service.create_session(f"customer-{customer:06d}")
+        workload[handle] = generator.session(steps_per_session)
         if customer < sample_sessions:
-            sampled.append(session_id)
-    engine.drive(workload, round_robin=True)
+            sampled.append(handle)
+    service.drive(workload, round_robin=True)
+    sampled.sort(key=lambda handle: handle.session_id)
     if keep_logs:
         sample_lengths = tuple(
-            len(engine.session(sid).log()) for sid in sorted(sampled)
+            len(service.session(handle).log()) for handle in sampled
         )
     else:
         sample_lengths = tuple(
-            engine.session(sid).steps for sid in sorted(sampled)
+            service.session(handle).steps for handle in sampled
         )
+    metrics = service.metrics
     return WorkloadReport(
         sessions=sessions,
         steps_per_session=steps_per_session,
-        total_steps=engine.metrics.steps_executed,
-        metrics=engine.metrics.snapshot(),
+        total_steps=metrics.steps_executed,
+        metrics=metrics.snapshot(),
         sample_log_lengths=sample_lengths,
+        shards=shards,
     )
 
 

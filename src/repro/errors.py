@@ -30,6 +30,24 @@ class UnknownRelationError(SchemaError):
     """A relation name was referenced that the schema does not declare."""
 
 
+class SessionError(ReproError):
+    """A runtime session lookup or lifecycle operation failed.
+
+    Raised for unknown or already-existing session ids, malformed ids
+    (session ids double as store file names), and invalid store
+    arguments -- the lifecycle errors of :mod:`repro.pods`.
+    """
+
+
+class ShardError(SessionError):
+    """Session routing across shards failed.
+
+    Raised for invalid shard counts or indexes, and for stale
+    :class:`~repro.pods.api.SessionHandle` objects whose recorded shard
+    disagrees with where the session id actually hash-routes.
+    """
+
+
 class RuleError(ReproError):
     """A datalog rule is malformed (unsafe, wrong head, bad literal)."""
 

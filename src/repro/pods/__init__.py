@@ -1,0 +1,65 @@
+"""Pod services: the public API of the multi-session runtime.
+
+The paper's transducers model *one* conversation between a customer and
+a store.  A deployed store -- the "electronic commerce" setting of
+Section 1, or the per-user data pods of the byoda architecture -- runs
+many such conversations at once against one shared catalog.  This
+package is that runtime's service layer:
+
+* :mod:`repro.pods.api` -- the typed vocabulary
+  (:class:`SessionHandle`, :class:`StepRequest`, :class:`StepResult`,
+  :class:`SessionSnapshot`);
+* :mod:`repro.pods.session` -- one run in progress
+  (:class:`Session`), restorable from a snapshot;
+* :mod:`repro.pods.store` -- the durability seam
+  (:class:`SessionStore`), with in-memory and JSONL-directory
+  implementations;
+* :mod:`repro.pods.service` -- :class:`PodService` (one engine) and
+  :class:`ShardedPodService` (N engines behind stable hash routing),
+  both funneling all traffic through ``submit()`` / ``submit_batch()``;
+* :mod:`repro.pods.metrics` -- :class:`RuntimeMetrics` throughput and
+  latency counters, mergeable across shards.
+
+Sessions are isolated by construction: the only shared objects are the
+read-only indexed database and the per-shard metrics.  Stepping
+different sessions in any interleaving gives the same per-session runs
+as running them back to back (the run semantics of Section 2.2 is a
+fold over the session's own inputs) -- and, with a durable store, the
+same runs even across a service restart in the middle.
+
+The PR 1 surface (:class:`repro.runtime.MultiSessionEngine`) remains as
+a deprecated shim over :class:`PodService`.
+"""
+
+from repro.pods.api import (
+    SessionHandle,
+    SessionSnapshot,
+    StepRequest,
+    StepResult,
+)
+from repro.pods.metrics import RuntimeMetrics
+from repro.pods.service import PodService, ShardedPodService, shard_of
+from repro.pods.session import Session, SessionLog
+from repro.pods.store import (
+    InMemoryStore,
+    JsonlDirectoryStore,
+    SessionStore,
+    open_store,
+)
+
+__all__ = [
+    "SessionHandle",
+    "SessionSnapshot",
+    "StepRequest",
+    "StepResult",
+    "RuntimeMetrics",
+    "PodService",
+    "ShardedPodService",
+    "shard_of",
+    "Session",
+    "SessionLog",
+    "SessionStore",
+    "InMemoryStore",
+    "JsonlDirectoryStore",
+    "open_store",
+]

@@ -1,0 +1,103 @@
+"""Typed request/response objects of the PodService API.
+
+The runtime's first public surface (PR 1's :class:`MultiSessionEngine`)
+addressed sessions by bare ints and returned ad-hoc tuples.  This module
+replaces that vocabulary with small value objects:
+
+* a :class:`SessionHandle` names a session by a stable string id plus
+  the shard it lives on -- the address of a pod, valid across service
+  restarts (the id, not the handle object, is what persists);
+* a :class:`StepRequest` is one unit of traffic: "advance this session
+  by this input instance";
+* a :class:`StepResult` is the service's reply: the output instance,
+  the session's step counter after the step, and the measured latency;
+* a :class:`SessionSnapshot` is the persistence-format view of a
+  session -- plain fact dictionaries, no live objects -- exchanged with
+  :class:`~repro.pods.store.SessionStore` implementations.
+
+Handles are deliberately cheap and immutable: they carry no reference
+to the service, so they can be stored, logged, or sent across a process
+boundary and resolved later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.transducer import InputLike
+    from repro.relalg.instance import Instance
+
+
+Facts = Mapping[str, frozenset[tuple]]
+"""Relation name -> set of tuples; the wire form of an instance."""
+
+
+@dataclass(frozen=True)
+class SessionHandle:
+    """The address of one session (pod): a string id and its shard.
+
+    ``shard`` is 0 for a standalone :class:`~repro.pods.service.PodService`;
+    a :class:`~repro.pods.service.ShardedPodService` stamps the shard the
+    id hash-routes to.  Equality is by value, so handles obtained from
+    different service instances over the same store compare equal.
+    """
+
+    session_id: str
+    shard: int = 0
+
+
+@dataclass(frozen=True)
+class StepRequest:
+    """One step of traffic: advance ``session`` by ``inputs``.
+
+    ``session`` may be a handle or a bare session id string; every
+    service entry point accepts both.
+    """
+
+    session: "SessionHandle | str"
+    inputs: "InputLike"
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """The reply to one :class:`StepRequest`.
+
+    ``step`` is the session's step counter *after* the step (1-based for
+    the first step), matching the paper's numbering of run positions.
+    """
+
+    session: SessionHandle
+    step: int
+    output: "Instance"
+    latency_seconds: float
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A session's persistent state, in plain-facts form.
+
+    ``state_facts`` is the cumulative state after ``steps`` steps;
+    ``log_facts`` holds one facts-mapping per logged step (empty when
+    the session was run with logging off).  The snapshot carries no
+    schemas: the service that restores it supplies them from its
+    transducer, so snapshots survive process restarts.
+    """
+
+    session_id: str
+    steps: int
+    state_facts: Facts
+    log_facts: tuple[Facts, ...] = ()
+
+
+def session_id_of(session: SessionHandle | str) -> str:
+    """The session id named by a handle or a bare id string."""
+    if isinstance(session, SessionHandle):
+        return session.session_id
+    return session
+
+
+def facts_of(instance: "Instance") -> dict[str, frozenset[tuple]]:
+    """An instance's relations as a plain dict (shared frozensets)."""
+    return {name: instance[name] for name in instance.schema.names}

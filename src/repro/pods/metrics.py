@@ -1,0 +1,108 @@
+"""Throughput and latency counters for the pod runtime.
+
+Pure bookkeeping: a service reports session creations, resumes,
+completed steps, and per-step wall-clock durations; the metrics object
+aggregates them into the counters the capacity benchmarks (E16/E17)
+read.  All derived rates are computed against the service's total
+elapsed time, so they are end-to-end numbers, not per-call averages.
+
+:meth:`RuntimeMetrics.merged` folds the per-shard counters of a
+:class:`~repro.pods.service.ShardedPodService` into one service-wide
+view: counts add, latency extremes combine, and the elapsed clock spans
+from the earliest shard start.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class RuntimeMetrics:
+    """Aggregated counters of one pod service (or engine shim)."""
+
+    sessions_created: int = 0
+    sessions_resumed: int = 0
+    sessions_closed: int = 0
+    steps_executed: int = 0
+    step_seconds_total: float = 0.0
+    step_seconds_min: float = field(default=float("inf"))
+    step_seconds_max: float = 0.0
+    started_at: float = field(default_factory=time.perf_counter)
+
+    def record_session(self) -> None:
+        self.sessions_created += 1
+
+    def record_resume(self) -> None:
+        self.sessions_resumed += 1
+
+    def record_close(self) -> None:
+        self.sessions_closed += 1
+
+    def record_step(self, seconds: float) -> None:
+        self.steps_executed += 1
+        self.step_seconds_total += seconds
+        if seconds < self.step_seconds_min:
+            self.step_seconds_min = seconds
+        if seconds > self.step_seconds_max:
+            self.step_seconds_max = seconds
+
+    # -- aggregation -----------------------------------------------------------
+
+    @classmethod
+    def merged(cls, parts: Iterable["RuntimeMetrics"]) -> "RuntimeMetrics":
+        """One metrics object summarizing ``parts`` (e.g. all shards)."""
+        parts = list(parts)
+        total = cls()
+        if parts:
+            total.started_at = min(p.started_at for p in parts)
+        for p in parts:
+            total.sessions_created += p.sessions_created
+            total.sessions_resumed += p.sessions_resumed
+            total.sessions_closed += p.sessions_closed
+            total.steps_executed += p.steps_executed
+            total.step_seconds_total += p.step_seconds_total
+            if p.step_seconds_min < total.step_seconds_min:
+                total.step_seconds_min = p.step_seconds_min
+            if p.step_seconds_max > total.step_seconds_max:
+                total.step_seconds_max = p.step_seconds_max
+        return total
+
+    # -- derived rates ---------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    def steps_per_second(self) -> float:
+        elapsed = self.elapsed()
+        return self.steps_executed / elapsed if elapsed > 0 else 0.0
+
+    def sessions_per_second(self) -> float:
+        elapsed = self.elapsed()
+        return self.sessions_created / elapsed if elapsed > 0 else 0.0
+
+    def mean_step_latency(self) -> float:
+        if not self.steps_executed:
+            return 0.0
+        return self.step_seconds_total / self.steps_executed
+
+    def snapshot(self) -> dict:
+        """A JSON-ready, deterministic-key summary of the counters."""
+        return {
+            "sessions_created": self.sessions_created,
+            "sessions_resumed": self.sessions_resumed,
+            "sessions_closed": self.sessions_closed,
+            "steps_executed": self.steps_executed,
+            "elapsed_seconds": round(self.elapsed(), 6),
+            "steps_per_second": round(self.steps_per_second(), 3),
+            "sessions_per_second": round(self.sessions_per_second(), 3),
+            "mean_step_latency_seconds": round(self.mean_step_latency(), 9),
+            "min_step_latency_seconds": (
+                round(self.step_seconds_min, 9)
+                if self.steps_executed
+                else 0.0
+            ),
+            "max_step_latency_seconds": round(self.step_seconds_max, 9),
+        }

@@ -1,0 +1,464 @@
+"""The pod services: the runtime's public API.
+
+A :class:`PodService` owns one transducer, one shared (indexed)
+database, and a set of sessions -- pods -- addressed by
+:class:`~repro.pods.api.SessionHandle`.  All traffic enters through
+:meth:`~PodService.submit` / :meth:`~PodService.submit_batch`; the
+convenience drivers (``run_session``, ``drive``) are thin clients over
+that path, so every future cross-cutting concern (persistence today,
+async fan-out or admission control tomorrow) has a single choke point.
+
+Persistence is delegated to a :class:`~repro.pods.store.SessionStore`:
+the service writes every lifecycle event through the store and lazily
+restores sessions from it, so a service recreated over a durable store
+transparently resumes sessions created by a previous process.
+
+A :class:`ShardedPodService` presents the same API over N internal
+single-shard services, hash-routing each session id with a *stable*
+hash (:func:`shard_of`, CRC-32), so the same id lands on the same shard
+in every process, every run.  Shards share the database instance -- and
+therefore the transducer's cached hash indexes -- but nothing else;
+splitting them across real processes is pure deployment.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.transducer import InputLike, RelationalTransducer
+from repro.errors import SessionError, ShardError
+from repro.pods.api import (
+    SessionHandle,
+    SessionSnapshot,
+    StepRequest,
+    StepResult,
+    session_id_of,
+)
+from repro.pods.metrics import RuntimeMetrics
+from repro.pods.session import Session, SessionLog
+from repro.pods.store import SessionStore, open_store
+from repro.relalg.instance import Instance
+
+_ID_ALLOWED = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _check_session_id(session_id: str) -> str:
+    """Validate a caller-supplied id (it doubles as a file name)."""
+    if (
+        not isinstance(session_id, str)
+        or not session_id
+        or not set(session_id) <= _ID_ALLOWED
+    ):
+        raise SessionError(
+            f"invalid session id {session_id!r}: need a non-empty string "
+            "of letters, digits, '.', '_' or '-'"
+        )
+    return session_id
+
+
+def _fresh_session_id(prefix, counter, exists):
+    """Next ``<prefix>-NNNNNN`` id not claimed per ``exists``.
+
+    Returns (id, next counter) so callers keep their numbering dense
+    across calls even when ids collide with caller-supplied ones.
+    """
+    while True:
+        candidate = f"{prefix}-{counter:06d}"
+        counter += 1
+        if not exists(candidate):
+            return candidate, counter
+
+
+def shard_of(session_id: str, shards: int) -> int:
+    """The shard a session id routes to: stable across processes.
+
+    CRC-32 rather than ``hash()`` because Python string hashing is
+    salted per process; routing must agree between the process that
+    created a session and the one that resumes it.
+    """
+    if shards < 1:
+        raise ShardError(f"shard count must be >= 1, got {shards}")
+    return zlib.crc32(session_id.encode("utf-8")) % shards
+
+
+class _PodApi:
+    """The traffic methods every pod service offers over ``submit()``."""
+
+    def submit(self, request: StepRequest) -> StepResult:
+        raise NotImplementedError
+
+    def submit_batch(
+        self, requests: Iterable[StepRequest]
+    ) -> list[StepResult]:
+        """Advance many sessions; results align with the requests.
+
+        The batch is executed in the given order; sessions may appear
+        multiple times.  Because sessions share nothing but the
+        read-only database, any batching/interleaving produces the same
+        per-session results -- which is exactly the seam the planned
+        async stepping will exploit.
+        """
+        return [self.submit(request) for request in requests]
+
+    def run_session(
+        self,
+        session: SessionHandle | str,
+        input_sequence: Sequence[InputLike],
+    ) -> list[StepResult]:
+        """Drive one session through a whole input sequence."""
+        return self.submit_batch(
+            StepRequest(session, inputs) for inputs in input_sequence
+        )
+
+    def drive(
+        self,
+        workload: Mapping[SessionHandle | str, Sequence[InputLike]],
+        round_robin: bool = True,
+    ) -> None:
+        """Consume per-session input sequences, interleaved or not.
+
+        ``round_robin=True`` alternates between sessions step by step
+        (the concurrent-traffic shape); ``False`` drains each session
+        in turn.  Sessions are visited in session-id order.
+        """
+        items = sorted(
+            workload.items(), key=lambda item: session_id_of(item[0])
+        )
+        if not round_robin:
+            for session, sequence in items:
+                self.run_session(session, sequence)
+            return
+        pending = [
+            [session, sequence, 0]
+            for session, sequence in items
+            if len(sequence) > 0
+        ]
+        while pending:
+            still_pending = []
+            for entry in pending:
+                session, sequence, position = entry
+                self.submit(StepRequest(session, sequence[position]))
+                if position + 1 < len(sequence):
+                    entry[2] = position + 1
+                    still_pending.append(entry)
+            pending = still_pending
+
+
+class PodService(_PodApi):
+    """Create, step, persist, and retire sessions over a shared database.
+
+    ``store`` may be a :class:`~repro.pods.store.SessionStore`, a
+    directory path (opens a
+    :class:`~repro.pods.store.JsonlDirectoryStore`), or ``None`` for the
+    in-memory store.  ``keep_logs=False`` turns off per-session log
+    retention (and log persistence) for load-generation scenarios where
+    only throughput matters.
+    """
+
+    def __init__(
+        self,
+        transducer: RelationalTransducer,
+        database: InputLike,
+        *,
+        store: "SessionStore | str | None" = None,
+        keep_logs: bool = True,
+        shard_index: int = 0,
+        id_prefix: str = "pod",
+    ) -> None:
+        self._transducer = transducer
+        self._database = transducer.coerce_database(database)
+        # Warm the shared index cache so the first session does not pay
+        # for it inside a latency measurement.
+        transducer.database_store(self._database)
+        self._store = open_store(store)
+        self._keep_logs = keep_logs
+        self._shard_index = shard_index
+        self._id_prefix = id_prefix
+        self._sessions: dict[str, Session] = {}
+        self._next_id = 0
+        self.metrics = RuntimeMetrics()
+
+    # -- session lifecycle -----------------------------------------------------
+
+    @property
+    def database(self) -> Instance:
+        return self._database
+
+    @property
+    def store(self) -> SessionStore:
+        return self._store
+
+    @property
+    def shard_index(self) -> int:
+        return self._shard_index
+
+    def create_session(self, session_id: str | None = None) -> SessionHandle:
+        """Open a new session; returns its handle.
+
+        A caller-supplied id makes the pod addressable across restarts
+        (and across the shards of a sharded service); omitted, the
+        service generates ``<prefix>-NNNNNN``.
+        """
+        if session_id is None:
+            session_id, self._next_id = _fresh_session_id(
+                self._id_prefix, self._next_id, self.has_session
+            )
+        else:
+            _check_session_id(session_id)
+            if (
+                session_id in self._sessions
+                or self._store.load(session_id) is not None
+            ):
+                raise SessionError(f"session already exists: {session_id!r}")
+        self._sessions[session_id] = Session(
+            session_id,
+            self._transducer,
+            self._database,
+            keep_log=self._keep_logs,
+        )
+        self._store.record_created(session_id)
+        self.metrics.record_session()
+        return SessionHandle(session_id, self._shard_index)
+
+    def create_sessions(self, count: int) -> list[SessionHandle]:
+        return [self.create_session() for _ in range(count)]
+
+    def _restore(self, snapshot: SessionSnapshot) -> Session:
+        schema = self._transducer.schema
+        state = Instance(schema.state, snapshot.state_facts)
+        if not self._keep_logs:
+            # Logging is off in this service; don't retain a restored log.
+            log: tuple[Instance, ...] = ()
+        elif snapshot.steps != len(snapshot.log_facts):
+            # The snapshot was written with keep_logs=False (or is
+            # damaged): resuming it with logging on would produce a log
+            # silently missing the pre-restart steps.
+            raise SessionError(
+                f"cannot resume {snapshot.session_id!r} with keep_logs=True:"
+                f" the stored snapshot has {len(snapshot.log_facts)} log"
+                f" entries for {snapshot.steps} steps (was it recorded with"
+                " keep_logs=False?)"
+            )
+        else:
+            log = tuple(
+                Instance(schema.log_schema, entry)
+                for entry in snapshot.log_facts
+            )
+        return Session(
+            snapshot.session_id,
+            self._transducer,
+            self._database,
+            keep_log=self._keep_logs,
+            state=state,
+            steps=snapshot.steps,
+            log=log,
+        )
+
+    def session(self, session: SessionHandle | str) -> Session:
+        """The live session for a handle, restoring from the store.
+
+        A session created by a previous service instance over the same
+        store is rebuilt from its snapshot on first touch; unknown ids
+        raise :class:`~repro.errors.SessionError`.
+        """
+        session_id = session_id_of(session)
+        live = self._sessions.get(session_id)
+        if live is not None:
+            return live
+        snapshot = self._store.load(session_id)
+        if snapshot is None:
+            raise SessionError(f"no such session: {session_id!r}")
+        restored = self._restore(snapshot)
+        self._sessions[session_id] = restored
+        self.metrics.record_resume()
+        return restored
+
+    def has_session(self, session: SessionHandle | str) -> bool:
+        session_id = session_id_of(session)
+        return (
+            session_id in self._sessions
+            or self._store.load(session_id) is not None
+        )
+
+    def session_ids(self) -> list[str]:
+        """Ids of all live (in-process) sessions, sorted."""
+        return sorted(self._sessions)
+
+    def stored_session_ids(self) -> list[str]:
+        """Ids of all resumable sessions known to the store, sorted."""
+        return self._store.session_ids()
+
+    def close_session(self, session: SessionHandle | str) -> SessionLog:
+        """Retire a session; returns its final log."""
+        live = self.session(session)
+        session_id = session_id_of(session)
+        del self._sessions[session_id]
+        self._store.record_closed(session_id)
+        self.metrics.record_close()
+        return live.log()
+
+    # -- traffic ---------------------------------------------------------------
+
+    def submit(self, request: StepRequest) -> StepResult:
+        """Advance one session by one input instance.
+
+        The single entry point of the runtime: every driver above
+        (``submit_batch``, ``run_session``, ``drive``, the commerce
+        workload generator, the legacy engine shim) funnels through
+        here, and the store write-through happens here.
+        """
+        session = self.session(request.session)
+        started = time.perf_counter()
+        output = session.step(request.inputs)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_step(elapsed)
+        self._store.record_step(
+            session.session_id,
+            session.steps,
+            session.state,
+            session.last_log_entry if self._keep_logs else None,
+        )
+        return StepResult(
+            session=SessionHandle(session.session_id, self._shard_index),
+            step=session.steps,
+            output=output,
+            latency_seconds=elapsed,
+        )
+
+    def logs(self) -> list[SessionLog]:
+        """Logs of all live sessions, ordered by session id."""
+        return [
+            self._sessions[session_id].log()
+            for session_id in sorted(self._sessions)
+        ]
+
+
+class ShardedPodService(_PodApi):
+    """The PodService API hash-routed across N internal shards.
+
+    Each shard is a full :class:`PodService`; a session id is owned by
+    shard ``shard_of(id, shards)`` forever.  ``store_factory`` maps a
+    shard index to that shard's store (e.g. one JSONL directory per
+    shard); by default every shard gets its own in-memory store.
+
+    ``metrics`` is the merged, service-wide view; per-shard counters
+    stay available through :meth:`shard`.
+    """
+
+    def __init__(
+        self,
+        transducer: RelationalTransducer,
+        database: InputLike,
+        shards: int = 4,
+        *,
+        keep_logs: bool = True,
+        store_factory: "Callable[[int], SessionStore | str | None] | None" = None,
+        id_prefix: str = "pod",
+    ) -> None:
+        if shards < 1:
+            raise ShardError(f"shard count must be >= 1, got {shards}")
+        # Coerce once so all shards share one database instance and
+        # therefore one cached FactStore in the transducer.
+        shared = transducer.coerce_database(database)
+        self._shards = [
+            PodService(
+                transducer,
+                shared,
+                store=store_factory(index) if store_factory else None,
+                keep_logs=keep_logs,
+                shard_index=index,
+                id_prefix=id_prefix,
+            )
+            for index in range(shards)
+        ]
+        self._id_prefix = id_prefix
+        self._next_id = 0
+
+    # -- routing ---------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard(self, index: int) -> PodService:
+        if not 0 <= index < len(self._shards):
+            raise ShardError(
+                f"no such shard: {index} (service has {len(self._shards)})"
+            )
+        return self._shards[index]
+
+    def shard_for(self, session: SessionHandle | str) -> int:
+        """The shard index a session routes to; checks stale handles."""
+        session_id = session_id_of(session)
+        index = shard_of(session_id, len(self._shards))
+        if isinstance(session, SessionHandle) and session.shard != index:
+            raise ShardError(
+                f"handle for {session_id!r} names shard {session.shard}, "
+                f"but the id routes to shard {index} of {len(self._shards)}"
+            )
+        return index
+
+    def _route(self, session: SessionHandle | str) -> PodService:
+        return self._shards[self.shard_for(session)]
+
+    # -- session lifecycle -----------------------------------------------------
+
+    @property
+    def database(self) -> Instance:
+        return self._shards[0].database
+
+    def create_session(self, session_id: str | None = None) -> SessionHandle:
+        if session_id is None:
+            session_id, self._next_id = _fresh_session_id(
+                self._id_prefix, self._next_id, self.has_session
+            )
+        return self._route(session_id).create_session(session_id)
+
+    def create_sessions(self, count: int) -> list[SessionHandle]:
+        return [self.create_session() for _ in range(count)]
+
+    def session(self, session: SessionHandle | str) -> Session:
+        return self._route(session).session(session_id_of(session))
+
+    def has_session(self, session: SessionHandle | str) -> bool:
+        return self._route(session).has_session(session_id_of(session))
+
+    def session_ids(self) -> list[str]:
+        ids: list[str] = []
+        for shard in self._shards:
+            ids.extend(shard.session_ids())
+        return sorted(ids)
+
+    def stored_session_ids(self) -> list[str]:
+        ids: list[str] = []
+        for shard in self._shards:
+            ids.extend(shard.stored_session_ids())
+        return sorted(ids)
+
+    def close_session(self, session: SessionHandle | str) -> SessionLog:
+        return self._route(session).close_session(session_id_of(session))
+
+    # -- traffic ---------------------------------------------------------------
+
+    def submit(self, request: StepRequest) -> StepResult:
+        return self._route(request.session).submit(request)
+
+    def logs(self) -> list[SessionLog]:
+        collected: list[SessionLog] = []
+        for shard in self._shards:
+            collected.extend(shard.logs())
+        return sorted(collected, key=lambda log: str(log.session_id))
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """Service-wide counters, merged across shards (computed fresh)."""
+        return RuntimeMetrics.merged(shard.metrics for shard in self._shards)
+
+    def shard_metrics(self) -> list[RuntimeMetrics]:
+        return [shard.metrics for shard in self._shards]

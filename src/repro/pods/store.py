@@ -1,0 +1,243 @@
+"""Session persistence: the durability seam of the pod runtime.
+
+A :class:`SessionStore` receives every lifecycle event of every session
+(:meth:`record_created`, :meth:`record_step`, :meth:`record_closed`)
+and can reproduce any live session as a
+:class:`~repro.pods.api.SessionSnapshot`.  Two implementations:
+
+* :class:`InMemoryStore` keeps snapshots in process memory -- the
+  behavior of the PR 1 engine, plus the ability to hand a session from
+  one service instance to another inside the same process;
+* :class:`JsonlDirectoryStore` appends one JSON line per event to a
+  per-session file, so a service can be killed at any step boundary,
+  recreated over the same directory, and resume every session exactly
+  where it stopped -- the byoda data-pod shape: the pod's state outlives
+  the serving process.
+
+The JSONL format stores relation facts as sorted lists of rows; values
+must be JSON-representable (the repro domain uses strings and numbers).
+Rows round-trip back to tuples (nested sequences included) on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Protocol, TYPE_CHECKING, runtime_checkable
+
+from repro.errors import SessionError
+from repro.pods.api import Facts, SessionSnapshot, facts_of
+
+if TYPE_CHECKING:
+    from repro.relalg.instance import Instance
+
+
+@runtime_checkable
+class SessionStore(Protocol):
+    """Where session state lives between (and across) service instances.
+
+    :meth:`record_step` receives the live (immutable) instances, so a
+    store decides for itself when to pay for serialization: the
+    in-memory store just keeps references on the hot path, the JSONL
+    store encodes eagerly.  ``log_entry`` is ``None`` when the service
+    runs with logging off; stores then persist only state and step
+    count, and restored sessions resume with an empty log (matching
+    ``keep_logs=False`` semantics).
+    """
+
+    def record_created(self, session_id: str) -> None:
+        """A fresh session was opened (state S_0, step 0)."""
+        ...
+
+    def record_step(
+        self,
+        session_id: str,
+        steps: int,
+        state: "Instance",
+        log_entry: "Instance | None",
+    ) -> None:
+        """A session advanced one step to ``steps`` total."""
+        ...
+
+    def record_closed(self, session_id: str) -> None:
+        """A session was retired; it must no longer be resumable."""
+        ...
+
+    def load(self, session_id: str) -> SessionSnapshot | None:
+        """The snapshot of a resumable session, or ``None``."""
+        ...
+
+    def session_ids(self) -> list[str]:
+        """Sorted ids of all resumable sessions."""
+        ...
+
+
+class InMemoryStore:
+    """Process-local snapshots; no durability across restarts.
+
+    This is "today's behavior" from PR 1: sessions exist only while the
+    serving process lives.  Per-step bookkeeping is two assignments and
+    a list append of references to the instances the session already
+    holds (instances are immutable, so sharing is safe); snapshots are
+    materialized into plain facts only on :meth:`load`.
+    """
+
+    def __init__(self) -> None:
+        # session id -> [steps, state instance or None, log instances]
+        self._records: dict[str, list] = {}
+
+    def record_created(self, session_id: str) -> None:
+        self._records[session_id] = [0, None, []]
+
+    def record_step(
+        self,
+        session_id: str,
+        steps: int,
+        state: "Instance",
+        log_entry: "Instance | None",
+    ) -> None:
+        record = self._records[session_id]
+        record[0] = steps
+        record[1] = state
+        if log_entry is not None:
+            record[2].append(log_entry)
+
+    def record_closed(self, session_id: str) -> None:
+        self._records.pop(session_id, None)
+
+    def load(self, session_id: str) -> SessionSnapshot | None:
+        record = self._records.get(session_id)
+        if record is None:
+            return None
+        steps, state, log = record
+        return SessionSnapshot(
+            session_id,
+            steps,
+            facts_of(state) if state is not None else {},
+            tuple(facts_of(entry) for entry in log),
+        )
+
+    def session_ids(self) -> list[str]:
+        return sorted(self._records)
+
+
+def _encode_facts(facts: Facts) -> dict[str, list[list]]:
+    """Facts as JSON-ready sorted lists (deterministic file contents)."""
+    return {
+        name: [list(row) for row in sorted(rows, key=repr)]
+        for name, rows in sorted(facts.items())
+    }
+
+
+def _decode_row(row: list) -> tuple:
+    return tuple(
+        _decode_row(value) if isinstance(value, list) else value
+        for value in row
+    )
+
+
+def _decode_facts(encoded: dict[str, list[list]]) -> dict[str, frozenset[tuple]]:
+    return {
+        name: frozenset(_decode_row(row) for row in rows)
+        for name, rows in encoded.items()
+    }
+
+
+class JsonlDirectoryStore:
+    """One append-only ``<session_id>.jsonl`` event file per session.
+
+    The first line of a file is a ``created`` record; every step appends
+    a ``step`` record carrying the *cumulative* state (Spocus state is
+    monotone and small) plus that step's log entry; closing appends a
+    ``closed`` record, after which the session is no longer resumable
+    (recreating the id truncates the file).  :meth:`load` replays the
+    file: state and step count come from the last ``step`` record, the
+    log is the concatenation of all entries.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_of(self, session_id: str) -> Path:
+        """The event file of one session (exposed for inspection)."""
+        return self._directory / f"{session_id}.jsonl"
+
+    def _append(self, session_id: str, record: dict) -> None:
+        with self.path_of(session_id).open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def record_created(self, session_id: str) -> None:
+        record = {"kind": "created", "session_id": session_id, "version": 1}
+        with self.path_of(session_id).open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def record_step(
+        self,
+        session_id: str,
+        steps: int,
+        state: "Instance",
+        log_entry: "Instance | None",
+    ) -> None:
+        self._append(
+            session_id,
+            {
+                "kind": "step",
+                "steps": steps,
+                "state": _encode_facts(facts_of(state)),
+                "log": (
+                    _encode_facts(facts_of(log_entry))
+                    if log_entry is not None
+                    else None
+                ),
+            },
+        )
+
+    def record_closed(self, session_id: str) -> None:
+        self._append(session_id, {"kind": "closed"})
+
+    def load(self, session_id: str) -> SessionSnapshot | None:
+        path = self.path_of(session_id)
+        if not path.exists():
+            return None
+        steps = 0
+        state_facts: dict[str, frozenset[tuple]] = {}
+        log_facts: list[Facts] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.get("kind")
+                if kind == "closed":
+                    return None
+                if kind != "step":
+                    continue
+                steps = record["steps"]
+                state_facts = _decode_facts(record["state"])
+                if record["log"] is not None:
+                    log_facts.append(_decode_facts(record["log"]))
+        return SessionSnapshot(session_id, steps, state_facts, tuple(log_facts))
+
+    def session_ids(self) -> list[str]:
+        ids = []
+        for path in sorted(self._directory.glob("*.jsonl")):
+            if self.load(path.stem) is not None:
+                ids.append(path.stem)
+        return ids
+
+
+def open_store(target: "SessionStore | str | Path | None") -> SessionStore:
+    """Coerce a store argument: None -> in-memory, path -> JSONL dir."""
+    if target is None:
+        return InMemoryStore()
+    if isinstance(target, (str, Path)):
+        return JsonlDirectoryStore(target)
+    if isinstance(target, SessionStore):
+        return target
+    raise SessionError(f"not a session store: {target!r}")

@@ -1,32 +1,22 @@
-"""Multi-session transducer runtime.
+"""Deprecated multi-session runtime surface (PR 1).
 
-The paper's transducers model *one* conversation between a customer and
-a store.  A deployed store -- the "electronic commerce" setting of
-Section 1, or the per-user data pods of the byoda architecture -- runs
-many such conversations at once against one shared catalog database.
-This subsystem provides exactly that execution model:
+This package is now a compatibility layer over :mod:`repro.pods`, the
+typed, sharded, persistence-ready service API:
 
-* a :class:`~repro.runtime.session.Session` is one independent run in
-  progress: its own cumulative state, step counter, and log, advanced
-  one input instance at a time;
-* a :class:`~repro.runtime.engine.MultiSessionEngine` owns the shared
-  database and a single transducer, creates and steps sessions (singly
-  or in batches), and keeps the catalog's hash indexes warm so every
-  session's evaluation reuses them;
-* :class:`~repro.runtime.metrics.RuntimeMetrics` aggregates throughput
-  (sessions/s, steps/s) and per-step latency over the engine's lifetime.
+* :class:`MultiSessionEngine` is a shim that translates the original
+  bare-int calls into :class:`~repro.pods.service.PodService` traffic
+  (it emits a :class:`DeprecationWarning` once per process);
+* :class:`Session`, :class:`SessionLog`, and :class:`RuntimeMetrics`
+  are re-exports of the moved implementations.
 
-Sessions are isolated by construction: the only shared mutable object
-is the engine's metrics.  The state of each session is an immutable
-:class:`~repro.relalg.instance.Instance`, so stepping different
-sessions in any interleaving gives the same per-session runs as running
-them back to back (the run semantics of Section 2.2 is a fold over the
-session's own inputs).
+New code should use :class:`repro.pods.PodService` /
+:class:`repro.pods.ShardedPodService` and address sessions with
+:class:`~repro.pods.api.SessionHandle`.
 """
 
 from repro.runtime.engine import MultiSessionEngine
-from repro.runtime.metrics import RuntimeMetrics
-from repro.runtime.session import Session, SessionLog
+from repro.pods.metrics import RuntimeMetrics
+from repro.pods.session import Session, SessionLog
 
 __all__ = [
     "MultiSessionEngine",

@@ -1,33 +1,55 @@
-"""The multi-session execution engine.
+"""Deprecated: the PR 1 engine API, now a shim over :mod:`repro.pods`.
 
-:class:`MultiSessionEngine` runs N independent sessions of one
-transducer over one shared database.  The database is coerced and
-indexed exactly once (via the transducer's
-:meth:`~repro.core.transducer.RelationalTransducer.database_store`
-cache); every session's every evaluation layers its small input/state
-facts over those shared indexes.  This is the byoda-style "many user
-pods, one catalog" shape from PAPERS.md, scaled down to a single
-process: sessions are logically concurrent (any interleaving of
-``step`` calls is valid) even though execution is sequential.
+:class:`MultiSessionEngine` keeps the original bare-int surface alive
+for existing callers, but every call is translated into the typed
+:class:`~repro.pods.service.PodService` API -- one
+:class:`~repro.pods.api.StepRequest` per step, all through the
+service's single ``submit()`` path.  New code should construct a
+:class:`~repro.pods.service.PodService` (or
+:class:`~repro.pods.service.ShardedPodService`) directly.
+
+The shim emits a :class:`DeprecationWarning` exactly once per process,
+on the first engine construction.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.transducer import InputLike, RelationalTransducer
-from repro.errors import SchemaError
+from repro.errors import SessionError
+from repro.pods.api import SessionHandle, StepRequest
+from repro.pods.metrics import RuntimeMetrics
+from repro.pods.service import PodService
+from repro.pods.session import Session, SessionLog
 from repro.relalg.instance import Instance
-from repro.runtime.metrics import RuntimeMetrics
-from repro.runtime.session import Session, SessionLog
+
+_deprecation_warned = False
+
+
+def _warn_once() -> None:
+    global _deprecation_warned
+    if _deprecation_warned:
+        return
+    _deprecation_warned = True
+    warnings.warn(
+        "MultiSessionEngine is deprecated; use repro.pods.PodService "
+        "(or ShardedPodService) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class MultiSessionEngine:
-    """Create, step, and retire sessions over a shared database.
+    """Deprecated int-addressed facade over :class:`PodService`.
 
-    ``keep_logs=False`` turns off per-session log retention for
-    load-generation scenarios where only throughput matters.
+    Engine session ids are ints; internally they map to zero-padded
+    string ids so the service's id-ordered traversals (``drive``,
+    ``logs``) visit sessions in the original numeric order.  Logs
+    returned by :meth:`close_session` and :meth:`logs` carry the int
+    ids, as in PR 1; only :meth:`session` exposes the service-side
+    :class:`Session` object, whose ``session_id`` is the mapped string.
     """
 
     def __init__(
@@ -36,74 +58,75 @@ class MultiSessionEngine:
         database: InputLike,
         keep_logs: bool = True,
     ) -> None:
-        self._transducer = transducer
-        self._database = transducer.coerce_database(database)
-        # Warm the shared index cache so the first session does not pay
-        # for it inside a latency measurement.
-        transducer.database_store(self._database)
-        self._keep_logs = keep_logs
-        self._sessions: dict[int, Session] = {}
+        _warn_once()
+        self._service = PodService(
+            transducer, database, keep_logs=keep_logs, id_prefix="legacy"
+        )
+        self._handles: dict[int, SessionHandle] = {}
         self._next_id = 0
-        self.metrics = RuntimeMetrics()
 
     # -- session lifecycle -----------------------------------------------------
 
     @property
     def database(self) -> Instance:
-        return self._database
+        return self._service.database
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        return self._service.metrics
+
+    @property
+    def service(self) -> PodService:
+        """The backing service (migration escape hatch)."""
+        return self._service
 
     def create_session(self) -> int:
         """Open a new session; returns its id."""
         session_id = self._next_id
         self._next_id += 1
-        self._sessions[session_id] = Session(
-            session_id,
-            self._transducer,
-            self._database,
-            keep_log=self._keep_logs,
+        self._handles[session_id] = self._service.create_session(
+            f"{session_id:08d}"
         )
-        self.metrics.record_session()
         return session_id
 
     def create_sessions(self, count: int) -> list[int]:
         return [self.create_session() for _ in range(count)]
 
-    def session(self, session_id: int) -> Session:
+    def _handle(self, session_id: int) -> SessionHandle:
         try:
-            return self._sessions[session_id]
+            return self._handles[session_id]
         except KeyError:
-            raise SchemaError(f"no such session: {session_id}") from None
+            raise SessionError(f"no such session: {session_id}") from None
+
+    def session(self, session_id: int) -> Session:
+        return self._service.session(self._handle(session_id))
 
     def session_ids(self) -> list[int]:
-        return sorted(self._sessions)
+        return sorted(self._handles)
+
+    @staticmethod
+    def _int_id_log(log: SessionLog) -> SessionLog:
+        # PR 1 logs carried the engine's int ids; undo the zero-padding.
+        return SessionLog(int(str(log.session_id)), log.entries)
 
     def close_session(self, session_id: int) -> SessionLog:
         """Retire a session; returns its final log."""
-        session = self.session(session_id)
-        del self._sessions[session_id]
-        self.metrics.record_close()
-        return session.log()
+        log = self._service.close_session(self._handle(session_id))
+        del self._handles[session_id]
+        return self._int_id_log(log)
 
     # -- stepping --------------------------------------------------------------
 
     def step(self, session_id: int, inputs: InputLike) -> Instance:
         """Advance one session by one input instance; return its output."""
-        session = self.session(session_id)
-        started = time.perf_counter()
-        output = session.step(inputs)
-        self.metrics.record_step(time.perf_counter() - started)
-        return output
+        return self._service.submit(
+            StepRequest(self._handle(session_id), inputs)
+        ).output
 
     def step_batch(
         self, batch: Iterable[tuple[int, InputLike]]
     ) -> list[tuple[int, Instance]]:
-        """Advance many sessions; returns (session_id, output) pairs.
-
-        The batch is executed in the given order; sessions may appear
-        multiple times.  Because sessions share nothing but the
-        read-only database, any batching/interleaving produces the same
-        per-session results.
-        """
+        """Advance many sessions; returns (session_id, output) pairs."""
         return [
             (session_id, self.step(session_id, inputs))
             for session_id, inputs in batch
@@ -113,38 +136,30 @@ class MultiSessionEngine:
         self, session_id: int, input_sequence: Sequence[InputLike]
     ) -> list[Instance]:
         """Drive one session through a whole input sequence."""
-        return [self.step(session_id, inputs) for inputs in input_sequence]
+        return [
+            result.output
+            for result in self._service.run_session(
+                self._handle(session_id), input_sequence
+            )
+        ]
 
     def drive(
         self,
         workload: Mapping[int, Sequence[InputLike]],
         round_robin: bool = True,
     ) -> None:
-        """Consume per-session input sequences, interleaved or not.
-
-        ``round_robin=True`` alternates between sessions step by step
-        (the concurrent-traffic shape); ``False`` drains each session in
-        turn.
-        """
-        if not round_robin:
-            for session_id in sorted(workload):
-                self.run_session(session_id, workload[session_id])
-            return
-        cursors = {sid: 0 for sid in sorted(workload) if workload[sid]}
-        while cursors:
-            exhausted = []
-            for session_id, position in cursors.items():
-                sequence = workload[session_id]
-                self.step(session_id, sequence[position])
-                if position + 1 >= len(sequence):
-                    exhausted.append(session_id)
-                else:
-                    cursors[session_id] = position + 1
-            for session_id in exhausted:
-                del cursors[session_id]
+        """Consume per-session input sequences, interleaved or not."""
+        self._service.drive(
+            {
+                self._handle(session_id): sequence
+                for session_id, sequence in workload.items()
+            },
+            round_robin=round_robin,
+        )
 
     def logs(self) -> list[SessionLog]:
         """Logs of all open sessions, ordered by session id."""
         return [
-            self._sessions[sid].log() for sid in sorted(self._sessions)
+            self._int_id_log(self._service.session(handle).log())
+            for _sid, handle in sorted(self._handles.items())
         ]

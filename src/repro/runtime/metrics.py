@@ -1,76 +1,8 @@
-"""Throughput and latency counters for the runtime engine.
-
-Pure bookkeeping: the engine reports session creations, completed
-steps, and per-step wall-clock durations; the metrics object aggregates
-them into the counters the capacity benchmarks (E16) read.  All derived
-rates are computed against the engine's total elapsed time, so they are
-end-to-end numbers, not per-call averages.
+"""Compatibility re-export: the implementation moved to
+:mod:`repro.pods.metrics` when the runtime grew its service layer.
+Import :class:`RuntimeMetrics` from there in new code.
 """
 
-from __future__ import annotations
+from repro.pods.metrics import RuntimeMetrics
 
-import time
-from dataclasses import dataclass, field
-
-
-@dataclass
-class RuntimeMetrics:
-    """Aggregated counters of one :class:`MultiSessionEngine`."""
-
-    sessions_created: int = 0
-    sessions_closed: int = 0
-    steps_executed: int = 0
-    step_seconds_total: float = 0.0
-    step_seconds_min: float = field(default=float("inf"))
-    step_seconds_max: float = 0.0
-    started_at: float = field(default_factory=time.perf_counter)
-
-    def record_session(self) -> None:
-        self.sessions_created += 1
-
-    def record_close(self) -> None:
-        self.sessions_closed += 1
-
-    def record_step(self, seconds: float) -> None:
-        self.steps_executed += 1
-        self.step_seconds_total += seconds
-        if seconds < self.step_seconds_min:
-            self.step_seconds_min = seconds
-        if seconds > self.step_seconds_max:
-            self.step_seconds_max = seconds
-
-    # -- derived rates ---------------------------------------------------------
-
-    def elapsed(self) -> float:
-        return time.perf_counter() - self.started_at
-
-    def steps_per_second(self) -> float:
-        elapsed = self.elapsed()
-        return self.steps_executed / elapsed if elapsed > 0 else 0.0
-
-    def sessions_per_second(self) -> float:
-        elapsed = self.elapsed()
-        return self.sessions_created / elapsed if elapsed > 0 else 0.0
-
-    def mean_step_latency(self) -> float:
-        if not self.steps_executed:
-            return 0.0
-        return self.step_seconds_total / self.steps_executed
-
-    def snapshot(self) -> dict:
-        """A JSON-ready, deterministic-key summary of the counters."""
-        return {
-            "sessions_created": self.sessions_created,
-            "sessions_closed": self.sessions_closed,
-            "steps_executed": self.steps_executed,
-            "elapsed_seconds": round(self.elapsed(), 6),
-            "steps_per_second": round(self.steps_per_second(), 3),
-            "sessions_per_second": round(self.sessions_per_second(), 3),
-            "mean_step_latency_seconds": round(self.mean_step_latency(), 9),
-            "min_step_latency_seconds": (
-                round(self.step_seconds_min, 9)
-                if self.steps_executed
-                else 0.0
-            ),
-            "max_step_latency_seconds": round(self.step_seconds_max, 9),
-        }
+__all__ = ["RuntimeMetrics"]

@@ -1,0 +1,402 @@
+"""Tests for the pod service layer: typed API, stores, sharding, shim."""
+
+import warnings
+
+import pytest
+
+from repro.commerce.catalog import CatalogGenerator
+from repro.commerce.models import (
+    FIGURE1_INPUTS,
+    build_friendly,
+    build_short,
+    default_database,
+)
+from repro.commerce.workloads import SessionGenerator, simulate_concurrent_customers
+from repro.errors import ReproError, SessionError, ShardError
+from repro.pods import (
+    InMemoryStore,
+    JsonlDirectoryStore,
+    PodService,
+    RuntimeMetrics,
+    SessionHandle,
+    ShardedPodService,
+    StepRequest,
+    open_store,
+    shard_of,
+)
+import repro.runtime.engine as engine_module
+from repro.runtime import MultiSessionEngine
+
+
+@pytest.fixture
+def service():
+    return PodService(build_short(), default_database())
+
+
+def make_scripts(count, length, catalog):
+    return {
+        f"customer-{n:04d}": SessionGenerator(
+            catalog, seed=n, supports_pending_bills=True
+        ).session(length)
+        for n in range(count)
+    }
+
+
+class TestTypedApi:
+    def test_submit_returns_typed_results(self, service):
+        handle = service.create_session("alice")
+        assert handle == SessionHandle("alice", 0)
+        result = service.submit(StepRequest(handle, FIGURE1_INPUTS[0]))
+        assert result.session == handle
+        assert result.step == 1
+        assert result.latency_seconds > 0
+        assert ("time", 55) in result.output["sendbill"]
+
+    def test_string_ids_are_accepted_everywhere(self, service):
+        service.create_session("alice")
+        result = service.submit(StepRequest("alice", FIGURE1_INPUTS[0]))
+        assert result.session.session_id == "alice"
+        assert service.session("alice").steps == 1
+        assert len(service.close_session("alice")) == 1
+
+    def test_submit_batch_matches_run_semantics(self, service):
+        handle = service.create_session()
+        results = service.submit_batch(
+            StepRequest(handle, inputs) for inputs in FIGURE1_INPUTS
+        )
+        run = build_short().run(default_database(), FIGURE1_INPUTS)
+        assert [r.output for r in results] == list(run.outputs)
+        assert [r.step for r in results] == [1, 2, 3, 4]
+
+    def test_unknown_session_raises_session_error(self, service):
+        with pytest.raises(SessionError, match="no such session"):
+            service.submit(StepRequest("ghost", FIGURE1_INPUTS[0]))
+        # The runtime error is catchable at the library boundary.
+        with pytest.raises(ReproError):
+            service.session("ghost")
+
+    def test_duplicate_and_malformed_ids_rejected(self, service):
+        service.create_session("alice")
+        with pytest.raises(SessionError, match="already exists"):
+            service.create_session("alice")
+        for bad in ("", "no spaces", "a/b", 7):
+            with pytest.raises(SessionError, match="invalid session id"):
+                service.create_session(bad)
+
+    def test_generated_ids_are_unique_and_ordered(self, service):
+        handles = service.create_sessions(5)
+        ids = [handle.session_id for handle in handles]
+        assert ids == sorted(set(ids))
+        assert service.session_ids() == ids
+
+
+class TestShardRouting:
+    def test_same_id_same_shard_across_instances(self):
+        ids = [f"customer-{n}" for n in range(40)]
+        first = [shard_of(session_id, 4) for session_id in ids]
+        second = [shard_of(session_id, 4) for session_id in ids]
+        assert first == second
+        assert set(first) == {0, 1, 2, 3}
+
+    def test_service_routing_matches_shard_of(self):
+        service = ShardedPodService(
+            build_short(), default_database(), shards=4
+        )
+        for n in range(20):
+            handle = service.create_session(f"customer-{n}")
+            assert handle.shard == shard_of(handle.session_id, 4)
+            assert service.shard_for(handle) == handle.shard
+
+    def test_sessions_live_only_on_their_shard(self):
+        service = ShardedPodService(
+            build_short(), default_database(), shards=4
+        )
+        handle = service.create_session("alice")
+        for index in range(service.shard_count):
+            shard_ids = service.shard(index).session_ids()
+            assert ("alice" in shard_ids) == (index == handle.shard)
+
+    def test_stale_handle_raises_shard_error(self):
+        service = ShardedPodService(
+            build_short(), default_database(), shards=4
+        )
+        handle = service.create_session("alice")
+        stale = SessionHandle("alice", (handle.shard + 1) % 4)
+        with pytest.raises(ShardError, match="routes to shard"):
+            service.submit(StepRequest(stale, FIGURE1_INPUTS[0]))
+
+    def test_invalid_shard_configuration(self):
+        with pytest.raises(ShardError):
+            ShardedPodService(build_short(), default_database(), shards=0)
+        with pytest.raises(ShardError):
+            shard_of("alice", 0)
+        service = ShardedPodService(
+            build_short(), default_database(), shards=2
+        )
+        with pytest.raises(ShardError, match="no such shard"):
+            service.shard(5)
+
+    def test_sharded_metrics_are_merged(self):
+        service = ShardedPodService(
+            build_short(), default_database(), shards=3
+        )
+        for n in range(6):
+            service.run_session(
+                service.create_session(f"customer-{n}"), FIGURE1_INPUTS[:2]
+            )
+        merged = service.metrics
+        assert merged.sessions_created == 6
+        assert merged.steps_executed == 12
+        assert merged.steps_executed == sum(
+            m.steps_executed for m in service.shard_metrics()
+        )
+        assert merged.snapshot()["steps_executed"] == 12
+
+
+class TestStores:
+    def test_open_store_coercions(self, tmp_path):
+        assert isinstance(open_store(None), InMemoryStore)
+        assert isinstance(open_store(tmp_path / "pods"), JsonlDirectoryStore)
+        store = InMemoryStore()
+        assert open_store(store) is store
+        with pytest.raises(SessionError):
+            open_store(42)
+
+    def test_in_memory_store_hands_sessions_between_services(self):
+        store = InMemoryStore()
+        first = PodService(build_short(), default_database(), store=store)
+        handle = first.create_session("alice")
+        first.run_session(handle, FIGURE1_INPUTS[:2])
+        second = PodService(build_short(), default_database(), store=store)
+        assert second.stored_session_ids() == ["alice"]
+        second.run_session(handle, FIGURE1_INPUTS[2:])
+        run = build_short().run(default_database(), FIGURE1_INPUTS)
+        assert list(second.session(handle).log().entries) == list(run.logs)
+
+    def test_jsonl_restart_roundtrip_equals_uninterrupted_run(self, tmp_path):
+        """Acceptance: stop a JSONL-backed service mid-workload, recreate
+        it over the same directory, finish, and get byte-identical
+        per-session logs to an uninterrupted in-memory run."""
+        transducer = build_friendly()
+        catalog = CatalogGenerator(seed=3).generate(25)
+        scripts = make_scripts(6, 6, catalog)
+
+        uninterrupted = PodService(transducer, catalog.as_database())
+        for session_id in scripts:
+            uninterrupted.create_session(session_id)
+        uninterrupted.drive(scripts)
+
+        interrupted = PodService(
+            transducer, catalog.as_database(), store=tmp_path / "pods"
+        )
+        for session_id in scripts:
+            interrupted.create_session(session_id)
+        interrupted.drive(
+            {sid: script[:3] for sid, script in scripts.items()}
+        )
+        del interrupted  # the serving process "dies"
+
+        revived = PodService(
+            transducer, catalog.as_database(), store=tmp_path / "pods"
+        )
+        assert revived.stored_session_ids() == sorted(scripts)
+        revived.drive({sid: script[3:] for sid, script in scripts.items()})
+        for session_id in scripts:
+            assert (
+                list(revived.session(session_id).log().entries)
+                == list(uninterrupted.session(session_id).log().entries)
+            )
+            assert (
+                revived.session(session_id).state
+                == uninterrupted.session(session_id).state
+            )
+        assert revived.metrics.sessions_resumed == len(scripts)
+
+    def test_jsonl_roundtrip_without_logs(self, tmp_path):
+        service = PodService(
+            build_short(),
+            default_database(),
+            store=tmp_path / "pods",
+            keep_logs=False,
+        )
+        handle = service.create_session("alice")
+        service.run_session(handle, FIGURE1_INPUTS[:2])
+        revived = PodService(
+            build_short(),
+            default_database(),
+            store=tmp_path / "pods",
+            keep_logs=False,
+        )
+        session = revived.session(handle)
+        assert session.steps == 2
+        assert len(session.log()) == 0
+        assert session.state == service.session(handle).state
+
+    def test_resume_with_mismatched_keep_logs_is_rejected(self, tmp_path):
+        unlogged = PodService(
+            build_short(),
+            default_database(),
+            store=tmp_path / "pods",
+            keep_logs=False,
+        )
+        handle = unlogged.create_session("alice")
+        unlogged.run_session(handle, FIGURE1_INPUTS[:2])
+        logged = PodService(
+            build_short(), default_database(), store=tmp_path / "pods"
+        )
+        with pytest.raises(SessionError, match="keep_logs"):
+            logged.session(handle)
+
+    def test_closed_sessions_are_not_resumable(self, tmp_path):
+        store = JsonlDirectoryStore(tmp_path / "pods")
+        service = PodService(build_short(), default_database(), store=store)
+        handle = service.create_session("alice")
+        service.run_session(handle, FIGURE1_INPUTS[:1])
+        service.close_session(handle)
+        assert store.load("alice") is None
+        assert store.session_ids() == []
+        revived = PodService(build_short(), default_database(), store=store)
+        with pytest.raises(SessionError, match="no such session"):
+            revived.session("alice")
+        # The id becomes free again after closing.
+        revived.create_session("alice")
+
+    def test_sharded_service_with_per_shard_stores(self, tmp_path):
+        transducer = build_friendly()
+        catalog = CatalogGenerator(seed=3).generate(25)
+        scripts = make_scripts(8, 4, catalog)
+
+        def factory(index):
+            return tmp_path / f"shard-{index:02d}"
+
+        first = ShardedPodService(
+            transducer, catalog.as_database(), shards=4, store_factory=factory
+        )
+        for session_id in scripts:
+            first.create_session(session_id)
+        first.drive({sid: script[:2] for sid, script in scripts.items()})
+        del first
+
+        revived = ShardedPodService(
+            transducer, catalog.as_database(), shards=4, store_factory=factory
+        )
+        assert revived.stored_session_ids() == sorted(scripts)
+        revived.drive({sid: script[2:] for sid, script in scripts.items()})
+        for session_id, script in scripts.items():
+            run = transducer.run(catalog.as_database(), script)
+            assert (
+                list(revived.session(session_id).log().entries)
+                == list(run.logs)
+            )
+
+
+class TestWorkloadDriverOnPods:
+    def test_sharded_workload_matches_single_engine(self):
+        catalog = CatalogGenerator(seed=2).generate(30)
+        kwargs = dict(
+            sessions=12, steps_per_session=4, seed=5, keep_logs=True
+        )
+        single = simulate_concurrent_customers(
+            build_friendly(), catalog, **kwargs
+        )
+        sharded = simulate_concurrent_customers(
+            build_friendly(), catalog, shards=4, **kwargs
+        )
+        assert sharded.shards == 4
+        assert sharded.total_steps == single.total_steps
+        assert sharded.sample_log_lengths == single.sample_log_lengths
+
+    def test_workload_with_persistent_store(self, tmp_path):
+        report = simulate_concurrent_customers(
+            build_short(),
+            CatalogGenerator(seed=2).generate(10),
+            sessions=4,
+            steps_per_session=3,
+            keep_logs=True,
+            store_factory=lambda index: tmp_path / f"shard-{index}",
+        )
+        assert report.total_steps == 12
+        store = JsonlDirectoryStore(tmp_path / "shard-0")
+        assert store.session_ids() == [f"customer-{n:06d}" for n in range(4)]
+
+
+class TestEngineShim:
+    pytestmark = pytest.mark.filterwarnings(
+        "ignore:MultiSessionEngine is deprecated:DeprecationWarning"
+    )
+
+    def test_shim_warns_exactly_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "_deprecation_warned", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            MultiSessionEngine(build_short(), default_database())
+            MultiSessionEngine(build_short(), default_database())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "PodService" in str(deprecations[0].message)
+
+    def test_shim_parity_with_pr1_behavior(self):
+        """The deprecated engine surface produces exactly the outputs,
+        logs, and states of the typed service (and of Run)."""
+        transducer = build_friendly()
+        catalog = CatalogGenerator(seed=3).generate(20)
+        scripts = [
+            SessionGenerator(
+                catalog, seed=s, supports_pending_bills=True
+            ).session(5)
+            for s in range(4)
+        ]
+        engine = MultiSessionEngine(transducer, catalog.as_database())
+        workload = {engine.create_session(): script for script in scripts}
+        assert sorted(workload) == [0, 1, 2, 3]
+        engine.drive(workload, round_robin=True)
+        for session_id, script in workload.items():
+            run = transducer.run(catalog.as_database(), script)
+            assert (
+                list(engine.session(session_id).log().entries)
+                == list(run.logs)
+            )
+            assert engine.session(session_id).state == run.last_state
+        assert engine.metrics.steps_executed == 20
+        # Logs returned by the shim carry the PR 1 int ids.
+        assert [log.session_id for log in engine.logs()] == [0, 1, 2, 3]
+        closed = engine.close_session(2)
+        assert closed.session_id == 2
+
+    def test_shim_is_a_thin_client_of_pod_service(self):
+        engine = MultiSessionEngine(build_short(), default_database())
+        session_id = engine.create_session()
+        engine.step(session_id, FIGURE1_INPUTS[0])
+        assert isinstance(engine.service, PodService)
+        assert engine.service.metrics is engine.metrics
+        assert engine.service.session_ids() == [f"{session_id:08d}"]
+
+    def test_shim_unknown_session_raises_session_error(self):
+        engine = MultiSessionEngine(build_short(), default_database())
+        with pytest.raises(SessionError):
+            engine.step(99, FIGURE1_INPUTS[0])
+
+
+class TestMergedMetrics:
+    def test_merged_sums_counts_and_combines_extremes(self):
+        first, second = RuntimeMetrics(), RuntimeMetrics()
+        first.record_session()
+        first.record_step(0.5)
+        second.record_session()
+        second.record_resume()
+        second.record_step(0.1)
+        second.record_step(0.9)
+        merged = RuntimeMetrics.merged([first, second])
+        assert merged.sessions_created == 2
+        assert merged.sessions_resumed == 1
+        assert merged.steps_executed == 3
+        assert merged.step_seconds_min == 0.1
+        assert merged.step_seconds_max == 0.9
+        assert merged.started_at == min(first.started_at, second.started_at)
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = RuntimeMetrics.merged([])
+        assert merged.steps_executed == 0
+        assert merged.snapshot()["min_step_latency_seconds"] == 0.0

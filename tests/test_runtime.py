@@ -1,4 +1,10 @@
-"""Tests for the multi-session runtime: sessions, engine, metrics."""
+"""Tests for the deprecated engine shim: sessions, engine, metrics.
+
+The engine is now a compatibility facade over :mod:`repro.pods`; these
+tests pin the PR 1 surface (bare-int ids, per-engine metrics) so the
+shim keeps behaving exactly like the original implementation.  The
+typed service itself is tested in ``test_pods.py``.
+"""
 
 import pytest
 
@@ -13,8 +19,12 @@ from repro.commerce.workloads import (
     SessionGenerator,
     simulate_concurrent_customers,
 )
-from repro.errors import SchemaError
+from repro.errors import SessionError
 from repro.runtime import MultiSessionEngine, RuntimeMetrics
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:MultiSessionEngine is deprecated:DeprecationWarning"
+)
 
 
 @pytest.fixture
@@ -53,7 +63,7 @@ class TestEngine:
         assert engine.session_ids() == ids
 
     def test_unknown_session_raises(self, engine):
-        with pytest.raises(SchemaError):
+        with pytest.raises(SessionError):
             engine.step(99, {"order": {("time",)}})
 
     def test_close_session_returns_log(self, engine):
