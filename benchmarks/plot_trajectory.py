@@ -149,8 +149,19 @@ def test_ratio_metrics_picks_speedups_and_ratios():
 def test_repo_records_are_loadable():
     records = load_records(Path(__file__).resolve().parent.parent)
     assert any(name.startswith("BENCH_e16") for name, _record in records)
+    assert any(name.startswith("BENCH_e18") for name, _record in records)
     for _name, record in records:
         assert headline_metric(record) is not None
+
+
+def test_e18_record_claims_hold():
+    """The committed E18 record must show cost >= greedy and delta
+    beating full re-evaluation (the PR's acceptance criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e18.json").read_text())
+    assert record["cost_vs_greedy_speedup"] >= 1.0
+    assert record["delta_vs_full_speedup"] > 1.0
+    assert record["delta"]["logs_identical"] is True
 
 
 # -- script entry point -------------------------------------------------------

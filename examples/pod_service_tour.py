@@ -103,6 +103,22 @@ def main() -> None:
         f"{merged.steps_executed} steps across {sharded.shard_count} shards"
     )
 
+    # 7. Query plans: every session steps through one shared compiled
+    #    PhysicalPlan; explain() shows the join orders the cost-based
+    #    planner picked against this catalog's index statistics.
+    print("\noutput-program plan (cost-based, against the live catalog):")
+    for line in transducer.explain_plan(database).splitlines():
+        print(f"  {line}")
+    snapshot = merged.snapshot()
+    print(
+        "plan/evaluation counters: "
+        f"{snapshot['plans_compiled']} plan(s) compiled, "
+        f"{snapshot['plan_cache_hits']} cache hits, "
+        f"{snapshot['full_rule_evals']} full rule joins, "
+        f"{snapshot['delta_rule_evals']} delta joins "
+        f"(+{snapshot['delta_rules_skipped']} skipped as unchanged)"
+    )
+
 
 if __name__ == "__main__":
     main()

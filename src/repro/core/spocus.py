@@ -26,12 +26,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import SchemaError, SpocusViolation
+from repro.errors import PlanError, SchemaError, SpocusViolation
 from repro.core.schema import TransducerSchema
 from repro.core.transducer import RelationalTransducer
 from repro.datalog.ast import Program, Rule
+from repro.datalog import evaluate as _evaluate
 from repro.datalog.evaluate import evaluate_program
 from repro.datalog.parser import parse_program
+from repro.datalog.plan import PhysicalPlan, compile_cached
 from repro.datalog.safety import check_rule_safety
 from repro.errors import SafetyError
 from repro.relalg.indexes import FactStore
@@ -59,6 +61,59 @@ def _step_store(
 def past(name: str) -> str:
     """The state relation recording the history of input ``name``."""
     return PAST_PREFIX + name
+
+
+def _program_step_context(transducer: RelationalTransducer, program: Program):
+    """A per-session incremental executor for ``program``, or ``None``.
+
+    Input relations are volatile (replaced every step), state relations
+    are monotone (both Spocus and the projection extension cumulate),
+    and the database is static -- exactly the contract of
+    :meth:`~repro.datalog.plan.physical.IncrementalExecutor.step`.
+    Programs outside the incremental scope (non-flat) fall back to full
+    per-step evaluation by returning ``None``.
+    """
+    if not transducer.incremental_stepping:
+        return None
+    plan, hit = compile_cached(program)
+    try:
+        executor = plan.new_incremental(
+            volatile=transducer.schema.inputs.names,
+            monotone=transducer.schema.state.names,
+        )
+    except PlanError:
+        return None
+    if hit:
+        executor.counters.plan_cache_hits += 1
+    else:
+        executor.counters.plans_compiled += 1
+    return executor
+
+
+def _output_via_context(
+    transducer: RelationalTransducer,
+    ctx,
+    inputs: Instance,
+    state: Instance,
+    database: Instance,
+) -> Instance:
+    """Derive the output instance through a step context (or without)."""
+    if ctx is None or _evaluate._FORCE_NAIVE:
+        # No context, or the naive-reference hook is active: take the
+        # stateless path so naive_evaluation() keeps measuring the whole
+        # pipeline.  A skipped step is safe for the executor: its delta
+        # tracking is against whatever state it last saw.
+        return transducer.output_function(inputs, state, database)
+    facts = _step_store(transducer, inputs, state, database)
+    monotone = {name: state[name] for name in state.schema.names}
+    derived = ctx.step(facts, monotone)
+    return Instance(
+        transducer.schema.outputs,
+        {
+            rel.name: derived.get(rel.name, frozenset())
+            for rel in transducer.schema.outputs
+        },
+    )
 
 
 def derive_state_schema(inputs: DatabaseSchema) -> DatabaseSchema:
@@ -157,9 +212,35 @@ class SpocusTransducer(RelationalTransducer):
     def output_program(self) -> Program:
         return self._program
 
+    @property
+    def output_plan(self) -> PhysicalPlan:
+        """The (shared, cached) compiled plan of the output program."""
+        plan, _hit = compile_cached(self._program)
+        return plan
+
+    def explain_plan(self, database: "Instance | None" = None) -> str:
+        """The output program's plan description (see ``PhysicalPlan.explain``).
+
+        With a database, join orders and estimates are computed against
+        its (cached, indexed) store -- what sessions over that catalog
+        actually execute.
+        """
+        if database is None:
+            return self.output_plan.explain()
+        db = self.coerce_database(database)
+        return self.output_plan.explain(self.database_store(db))
+
     def rules_for(self, predicate: str) -> list[Rule]:
         """The output rules defining ``predicate``."""
         return self._program.rules_for(predicate)
+
+    def new_step_context(self, database: Instance):
+        return _program_step_context(self, self._program)
+
+    def output_with_context(
+        self, ctx, inputs: Instance, state: Instance, database: Instance
+    ) -> Instance:
+        return _output_via_context(self, ctx, inputs, state, database)
 
     def state_function(
         self, inputs: Instance, state: Instance, database: Instance
@@ -276,6 +357,14 @@ class ExtendedStateTransducer(RelationalTransducer):
     @property
     def output_program(self) -> Program:
         return self._output_program
+
+    def new_step_context(self, database: Instance):
+        return _program_step_context(self, self._output_program)
+
+    def output_with_context(
+        self, ctx, inputs: Instance, state: Instance, database: Instance
+    ) -> Instance:
+        return _output_via_context(self, ctx, inputs, state, database)
 
     def state_function(
         self, inputs: Instance, state: Instance, database: Instance

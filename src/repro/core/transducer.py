@@ -34,6 +34,12 @@ class RelationalTransducer:
 
     _DB_CACHE_SLOTS = 8
 
+    #: When True (the default), sessions and runs may use a per-session
+    #: step context (compiled-plan reuse + cross-step incremental
+    #: evaluation) where the subclass supports one.  Benchmarks flip it
+    #: off to measure full per-step re-evaluation.
+    incremental_stepping = True
+
     def __init__(self, schema: TransducerSchema) -> None:
         self._schema = schema
         # id(instance) -> (instance, store); the instance reference keeps
@@ -78,6 +84,27 @@ class RelationalTransducer:
     ) -> Instance:
         raise NotImplementedError
 
+    # -- per-session step contexts --------------------------------------------------
+
+    def new_step_context(self, database: Instance):
+        """A per-session evaluation context, or ``None``.
+
+        Subclasses whose output function is a datalog program return an
+        object (e.g. a
+        :class:`~repro.datalog.plan.physical.IncrementalExecutor`) that
+        caches the compiled plan and per-rule results across the steps
+        of ONE session over ONE database; the base class has nothing to
+        cache.  Contexts must be observationally transparent: stepping
+        with one yields exactly the outputs of :meth:`output_function`.
+        """
+        return None
+
+    def output_with_context(
+        self, ctx, inputs: Instance, state: Instance, database: Instance
+    ) -> Instance:
+        """ω with an optional step context (default: ignore it)."""
+        return self.output_function(inputs, state, database)
+
     # -- run semantics --------------------------------------------------------------
 
     def initial_state(self) -> Instance:
@@ -108,13 +135,14 @@ class RelationalTransducer:
         db = self.coerce_database(database)
         state = self.initial_state()
         log_schema = self._schema.log_schema
+        ctx = self.new_step_context(db)
         inputs: list[Instance] = []
         states: list[Instance] = []
         outputs: list[Instance] = []
         logs: list[Instance] = []
         for raw in input_sequence:
             current = self.coerce_input(raw)
-            output = self.output_function(current, state, db)
+            output = self.output_with_context(ctx, current, state, db)
             if output.schema != self._schema.outputs:
                 raise SchemaError(
                     "output function returned an instance of the wrong schema"

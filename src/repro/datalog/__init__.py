@@ -35,6 +35,13 @@ from repro.datalog.evaluate import (
     evaluate_rule_naive,
 )
 from repro.datalog.engine import DatalogEngine
+from repro.datalog.plan import (
+    IncrementalExecutor,
+    LogicalPlan,
+    PhysicalPlan,
+    Planner,
+    compile_program,
+)
 
 __all__ = [
     "Term",
@@ -60,4 +67,9 @@ __all__ = [
     "evaluate_rule_naive",
     "evaluate_program_naive",
     "DatalogEngine",
+    "LogicalPlan",
+    "Planner",
+    "PhysicalPlan",
+    "IncrementalExecutor",
+    "compile_program",
 ]

@@ -1,31 +1,25 @@
 """Bottom-up evaluation of datalog programs.
 
-Rule bodies are joined with per-predicate hash indexes
-(:class:`~repro.relalg.indexes.FactStore`): positive atoms are reordered
-greedily by expected selectivity (most bound terms first, smaller
-relations breaking ties), each atom enumerates only the rows compatible
-with the current partial binding via an index lookup, and bindings live
-in a single mutable dict with an undo trail instead of being copied per
-row.  Negated atoms and inequalities are checked as soon as their
-variables are bound.
-
-Programs are evaluated stratum by stratum; within a recursive stratum a
-semi-naive fixpoint is run, re-deriving per iteration only the join
-variants in which some positive occurrence ranges over the previous
-iteration's new tuples.  Nonrecursive semipositive programs (Spocus
-output programs) take the single-pass path.
+As of the QueryPlan redesign this module is a thin, stable wrapper over
+the typed plan API in :mod:`repro.datalog.plan`: programs are compiled
+(once, process-wide) into a
+:class:`~repro.datalog.plan.physical.PhysicalPlan` whose ``execute``
+runs the stratified semi-naive fixpoint with hash-indexed joins and
+cost-based join ordering (greedy selectivity order when statistics are
+absent).  ``evaluate_program`` / ``evaluate_rule`` keep their original
+signatures and exact semantics; callers that want planning, explain
+output, or cross-step incremental evaluation use the plan API directly.
 
 :func:`evaluate_rule_naive` / :func:`evaluate_program_naive` keep the
 original scan-based nested-loop join as an executable reference; the
-property-based tests cross-check the indexed path against it and the
+property-based tests cross-check the planned paths against it and the
 benchmarks report the speedup.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from functools import lru_cache
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.errors import EvaluationError
 from repro.datalog.ast import (
@@ -37,6 +31,14 @@ from repro.datalog.ast import (
     Rule,
     Variable,
 )
+from repro.datalog.plan.logical import RuleNode
+from repro.datalog.plan.physical import (
+    CompiledRule,
+    coerce_store,
+    derive_rule,
+    make_orderer,
+)
+from repro.datalog.plan.planner import ORDERING_COST, compile_program
 from repro.datalog.safety import check_rule_safety
 from repro.datalog.stratify import stratify
 from repro.relalg.indexes import FactStore
@@ -47,254 +49,20 @@ Binding = dict[Variable, object]
 _UNSET = object()
 
 
-def _coerce_store(facts: Facts | FactStore) -> FactStore:
-    if isinstance(facts, FactStore):
-        return facts
-    return FactStore(facts)
-
-
-def _term_value(term, binding: Binding):
-    if isinstance(term, Constant):
-        return term.value
-    if term in binding:
-        return binding[term]
-    return _UNSET
-
-
-def _check_bound_literal(
-    literal, binding: Binding, store: FactStore
-) -> bool:
-    """Evaluate a fully-bound negated atom or inequality."""
-    if isinstance(literal, NegatedAtom):
-        row = literal.atom.ground_tuple(binding)
-        return not store.contains(literal.atom.predicate, row)
-    if isinstance(literal, Inequality):
-        return _term_value(literal.left, binding) != _term_value(
-            literal.right, binding
-        )
-    raise EvaluationError(f"not a checkable literal: {literal}")
-
-
-# -- join planning ----------------------------------------------------------------
-
-
-class _AtomInfo:
-    """Precomputed view of one positive body atom."""
-
-    __slots__ = ("index", "atom", "variables", "constant_count")
-
-    def __init__(self, index: int, atom) -> None:
-        self.index = index
-        self.atom = atom
-        self.variables = frozenset(atom.variables())
-        self.constant_count = sum(
-            1 for term in atom.terms if isinstance(term, Constant)
-        )
-
-
-class _RulePlan:
-    """Safety-checked, precomputed join ingredients of one rule.
-
-    Plans are cached per :class:`Rule`, so the per-evaluation work is
-    just the (size-dependent) greedy ordering; check schedules are
-    memoized per ordering.
-    """
-
-    __slots__ = ("rule", "positive", "checks", "pre_checks", "_schedules")
-
-    def __init__(self, rule: Rule) -> None:
-        check_rule_safety(rule)
-        self.rule = rule
-        self.positive = [
-            _AtomInfo(i, l.atom)
-            for i, l in enumerate(
-                l for l in rule.body if isinstance(l, PositiveAtom)
-            )
-        ]
-        checks = [l for l in rule.body if not isinstance(l, PositiveAtom)]
-        self.pre_checks = [c for c in checks if not set(c.variables())]
-        self.checks = [c for c in checks if set(c.variables())]
-        self._schedules: dict[tuple[int, ...], list[list]] = {}
-
-    def schedule(self, order: Sequence[_AtomInfo]) -> list[list]:
-        """``checks_at[i]``: checks to run right after ``order[i]`` matches."""
-        key = tuple(info.index for info in order)
-        cached = self._schedules.get(key)
-        if cached is not None:
-            return cached
-        checks_at: list[list] = [[] for _ in order]
-        bound: set[Variable] = set()
-        bound_by: list[set[Variable]] = []
-        for info in order:
-            bound |= info.variables
-            bound_by.append(set(bound))
-        for check in self.checks:
-            variables = set(check.variables())
-            for i, available in enumerate(bound_by):
-                if variables <= available:
-                    checks_at[i].append(check)
-                    break
-            else:
-                raise EvaluationError(
-                    f"literal {check} has variables not bound by any "
-                    "positive atom"
-                )
-        self._schedules[key] = checks_at
-        return checks_at
-
-
-_plan_cache: dict[Rule, _RulePlan] = {}
-_PLAN_CACHE_LIMIT = 4096
-
-
-def _get_plan(rule: Rule) -> _RulePlan:
-    plan = _plan_cache.get(rule)
-    if plan is None:
-        if len(_plan_cache) >= _PLAN_CACHE_LIMIT:
-            _plan_cache.clear()
-        plan = _RulePlan(rule)
-        _plan_cache[rule] = plan
-    return plan
-
-
-def _order_atoms(
-    positive: Sequence[_AtomInfo],
-    store: FactStore,
-    first: _AtomInfo | None = None,
-) -> list[_AtomInfo]:
-    """Greedy selectivity ordering of the positive body atoms.
-
-    At each step pick the atom with the most terms already bound
-    (constants plus variables bound by earlier atoms); ties go to the
-    atom over the smaller relation, then to body order, which keeps the
-    ordering deterministic.
-    """
-    remaining = list(positive)
-    order: list[_AtomInfo] = []
-    bound: set[Variable] = set()
-    if first is not None:
-        remaining.remove(first)
-        order.append(first)
-        bound.update(first.variables)
-    while remaining:
-        best_index = 0
-        best_score: tuple[int, int] | None = None
-        for i, info in enumerate(remaining):
-            bound_terms = info.constant_count + sum(
-                1 for v in info.variables if v in bound
-            )
-            score = (-bound_terms, store.count(info.atom.predicate))
-            if best_score is None or score < best_score:
-                best_score = score
-                best_index = i
-        chosen = remaining.pop(best_index)
-        order.append(chosen)
-        bound.update(chosen.variables)
-    return order
-
-
-def _candidate_rows(atom, binding: Binding, store: FactStore):
-    """The rows of ``atom``'s relation compatible with ``binding``.
-
-    Uses a hash-index lookup on the bound positions; falls back to a
-    membership test when every position is bound and to a full scan when
-    none is.
-    """
-    positions: list[int] = []
-    key: list = []
-    for i, term in enumerate(atom.terms):
-        value = _term_value(term, binding)
-        if value is not _UNSET:
-            positions.append(i)
-            key.append(value)
-    if len(positions) == len(atom.terms):
-        row = tuple(key)
-        if store.contains(atom.predicate, row):
-            return (row,)
-        return ()
-    if positions:
-        return store.lookup(atom.predicate, tuple(positions), tuple(key))
-    return store.rows(atom.predicate)
-
-
-def _match_into(
-    atom, row: tuple, binding: Binding, trail: list[Variable]
-) -> bool:
-    """Extend ``binding`` in place so ``atom`` matches ``row``.
-
-    Newly bound variables are pushed on ``trail``; on mismatch the
-    caller unwinds via :func:`_undo_to`.  Index lookups already filtered
-    on the bound positions, so this only binds fresh variables and
-    re-checks repeated ones.
-    """
-    for term, value in zip(atom.terms, row):
-        if isinstance(term, Constant):
-            if term.value != value:
-                return False
-        else:
-            bound = binding.get(term, _UNSET)
-            if bound is _UNSET:
-                binding[term] = value
-                trail.append(term)
-            elif bound != value:
-                return False
-    return True
-
-
-def _undo_to(binding: Binding, trail: list[Variable], mark: int) -> None:
-    while len(trail) > mark:
-        del binding[trail.pop()]
-
-
-def _join(
-    plan: _RulePlan,
-    store: FactStore,
-    derived: set[tuple],
-    first: _AtomInfo | None = None,
-    first_rows=None,
-) -> None:
-    """Run the indexed join for one rule, adding head tuples to ``derived``.
-
-    With ``first``/``first_rows`` given, that occurrence is evaluated
-    first and enumerates only ``first_rows`` (the semi-naive delta
-    restriction); the other atoms read the full store.
-    """
-    for check in plan.pre_checks:
-        if not _check_bound_literal(check, {}, store):
-            return
-    order = _order_atoms(plan.positive, store, first=first)
-    checks_at = plan.schedule(order)
-    head = plan.rule.head
-    binding: Binding = {}
-    trail: list[Variable] = []
-    depth = len(order)
-
-    def extend(index: int) -> None:
-        if index == depth:
-            derived.add(head.ground_tuple(binding))
-            return
-        atom = order[index].atom
-        if index == 0 and first_rows is not None:
-            candidates = first_rows
-        else:
-            candidates = _candidate_rows(atom, binding, store)
-        slot_checks = checks_at[index]
-        for row in candidates:
-            if len(row) != atom.arity:
-                continue
-            mark = len(trail)
-            if _match_into(atom, row, binding, trail):
-                if all(
-                    _check_bound_literal(check, binding, store)
-                    for check in slot_checks
-                ):
-                    extend(index + 1)
-            _undo_to(binding, trail, mark)
-
-    extend(0)
-
-
 # -- public API -------------------------------------------------------------------
+
+_rule_cache: dict[Rule, CompiledRule] = {}
+_RULE_CACHE_LIMIT = 4096
+
+
+def _compiled_rule(rule: Rule) -> CompiledRule:
+    crule = _rule_cache.get(rule)
+    if crule is None:
+        if len(_rule_cache) >= _RULE_CACHE_LIMIT:
+            _rule_cache.clear()
+        crule = CompiledRule(RuleNode(rule))
+        _rule_cache[rule] = crule
+    return crule
 
 
 def evaluate_rule(
@@ -310,31 +78,10 @@ def evaluate_rule(
     strata).  Negated atoms are always evaluated against the full
     ``facts``.
     """
-    plan = _get_plan(rule)
-    store = _coerce_store(facts)
-    derived: set[tuple] = set()
-
-    if not plan.positive:
-        # Body is empty or has only checks over constants.  A delta pass
-        # can never use such a rule (no positive occurrence to restrict).
-        if delta is not None:
-            return frozenset()
-        if all(
-            _check_bound_literal(c, {}, store) for c in plan.pre_checks
-        ):
-            derived.add(rule.head.ground_tuple({}))
-        return frozenset(derived)
-
-    if delta is None:
-        _join(plan, store, derived)
-        return frozenset(derived)
-
-    for info in plan.positive:
-        delta_rows = delta.get(info.atom.predicate)
-        if not delta_rows:
-            continue
-        _join(plan, store, derived, first=info, first_rows=delta_rows)
-    return frozenset(derived)
+    crule = _compiled_rule(rule)
+    store = coerce_store(facts)
+    orderer = make_orderer(ORDERING_COST, store)
+    return frozenset(derive_rule(crule, store, orderer, delta=delta))
 
 
 def evaluate_program(
@@ -344,15 +91,12 @@ def evaluate_program(
 ) -> dict[str, frozenset[tuple]]:
     """Evaluate a stratified program; return all facts (EDB + derived).
 
-    The program is stratified; each stratum is run to fixpoint with
-    semi-naive iteration (a single pass suffices for nonrecursive
-    strata).  The result maps every predicate, including EDB ones, to
-    its final set of tuples.
-
-    ``edb_facts`` may be a plain mapping or a pre-indexed
-    :class:`~repro.relalg.indexes.FactStore`; a store is layered over,
-    never mutated, so its indexes (e.g. over a large shared catalog) are
-    reused across evaluations.
+    Compiles the program into its shared
+    :class:`~repro.datalog.plan.physical.PhysicalPlan` (cached per
+    program) and executes it.  ``edb_facts`` may be a plain mapping or a
+    pre-indexed :class:`~repro.relalg.indexes.FactStore`; a store is
+    layered over, never mutated, so its indexes (e.g. over a large
+    shared catalog) are reused across evaluations.
     """
     if _FORCE_NAIVE:
         mapping = (
@@ -361,58 +105,8 @@ def evaluate_program(
             else edb_facts
         )
         return evaluate_program_naive(program, mapping, max_iterations)
-    if isinstance(edb_facts, FactStore):
-        store = FactStore(base=edb_facts)
-    else:
-        store = FactStore(edb_facts)
-    idb = program.head_predicates()
-    for predicate in idb:
-        store.ensure(predicate)
-
-    for stratum in _stratify_cached(program):
-        stratum_rules = [
-            (r, r.body_predicates())
-            for r in program
-            if r.head.predicate in stratum & idb
-        ]
-        if not stratum_rules:
-            continue
-        # First full pass.
-        delta: dict[str, frozenset[tuple]] = {}
-        for rule, _preds in stratum_rules:
-            fresh = store.add(rule.head.predicate, evaluate_rule(rule, store))
-            if fresh:
-                delta[rule.head.predicate] = (
-                    delta.get(rule.head.predicate, frozenset()) | fresh
-                )
-        # Semi-naive iteration to fixpoint.
-        iterations = 0
-        while delta:
-            iterations += 1
-            if iterations > max_iterations:
-                raise EvaluationError("fixpoint iteration budget exceeded")
-            next_delta: dict[str, frozenset[tuple]] = {}
-            for rule, body_preds in stratum_rules:
-                if not (body_preds & set(delta)):
-                    continue
-                fresh = store.add(
-                    rule.head.predicate,
-                    evaluate_rule(rule, store, delta=delta),
-                )
-                if fresh:
-                    next_delta[rule.head.predicate] = (
-                        next_delta.get(rule.head.predicate, frozenset())
-                        | fresh
-                    )
-            delta = next_delta
-    return store.as_dict()
-
-
-@lru_cache(maxsize=256)
-def _stratify_cached(program: Program) -> list[set[str]]:
-    """Stratification is purely syntactic; cache it per program so hot
-    paths (one evaluation per transducer step) don't recompute it."""
-    return stratify(program)
+    plan = compile_program(program)
+    return plan.execute(edb_facts, max_iterations=max_iterations)
 
 
 # -- scan-based reference implementation ------------------------------------------
@@ -428,7 +122,9 @@ def naive_evaluation():
     transducers, the runtime engine) transparently falls back to the
     original nested-loop join inside this context, which is how the
     index-vs-scan speedups and equivalence checks are measured end to
-    end.  Not thread-safe; intended for benchmarks and tests only.
+    end.  Incremental step contexts are also disabled while active (see
+    :meth:`~repro.core.transducer.RelationalTransducer.new_step_context`).
+    Not thread-safe; intended for benchmarks and tests only.
     """
     global _FORCE_NAIVE
     saved = _FORCE_NAIVE
@@ -439,8 +135,16 @@ def naive_evaluation():
         _FORCE_NAIVE = saved
 
 
+def _term_value(term, binding: Binding):
+    if isinstance(term, Constant):
+        return term.value
+    if term in binding:
+        return binding[term]
+    return _UNSET
+
+
 def _match_atom(atom, row: tuple, binding: Binding) -> Binding | None:
-    """Copying variant of :func:`_match_into` kept for the naive path."""
+    """Copying row matcher kept for the naive path."""
     if len(row) != atom.arity:
         return None
     extended = dict(binding)
@@ -460,7 +164,7 @@ def _match_atom(atom, row: tuple, binding: Binding) -> Binding | None:
 def _check_bound_literal_mapping(
     literal, binding: Binding, facts: Facts
 ) -> bool:
-    """Mapping-backed twin of :func:`_check_bound_literal` (naive path)."""
+    """Mapping-backed bound-literal check (naive path)."""
     if isinstance(literal, NegatedAtom):
         row = literal.atom.ground_tuple(binding)
         return row not in facts.get(literal.atom.predicate, frozenset())

@@ -1,0 +1,66 @@
+"""The query-plan API of the datalog layer.
+
+The evaluation pipeline is explicit and typed:
+
+``Program`` -> :class:`LogicalPlan` (stratification + per-rule atom
+graphs) -> :class:`Planner` (join ordering: cost-based over
+:class:`~repro.relalg.indexes.FactStore` index statistics, greedy
+fallback) -> :class:`PhysicalPlan` (``execute`` / ``execute_delta`` /
+``explain``) -> optionally an :class:`IncrementalExecutor` for
+cross-step delta evaluation of flat programs over monotone facts.
+
+:func:`compile_program` is the process-wide compilation cache the thin
+wrappers in :mod:`repro.datalog.evaluate` and the transducer runtime
+share.
+"""
+
+from repro.datalog.plan.cost import CostModel, bound_positions
+from repro.datalog.plan.logical import AtomNode, LogicalPlan, RuleNode
+from repro.datalog.plan.planner import (
+    ORDERING_COST,
+    ORDERING_GREEDY,
+    ORDERINGS,
+    Planner,
+    clear_plan_cache,
+    compile_cached,
+    compile_program,
+    cost_order,
+    greedy_order,
+    plan_cache_info,
+)
+from repro.datalog.plan.physical import (
+    CATEGORY_DELTA,
+    CATEGORY_RECOMPUTE,
+    CATEGORY_STATIC,
+    CompiledRule,
+    EvalCounters,
+    IncrementalExecutor,
+    PhysicalPlan,
+    derive_rule,
+)
+
+__all__ = [
+    "AtomNode",
+    "LogicalPlan",
+    "RuleNode",
+    "CostModel",
+    "bound_positions",
+    "Planner",
+    "ORDERING_COST",
+    "ORDERING_GREEDY",
+    "ORDERINGS",
+    "greedy_order",
+    "cost_order",
+    "compile_program",
+    "compile_cached",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "PhysicalPlan",
+    "CompiledRule",
+    "IncrementalExecutor",
+    "EvalCounters",
+    "derive_rule",
+    "CATEGORY_DELTA",
+    "CATEGORY_RECOMPUTE",
+    "CATEGORY_STATIC",
+]

@@ -1,0 +1,620 @@
+"""Physical plans: executable joins, delta passes, and explain output.
+
+A :class:`PhysicalPlan` binds a
+:class:`~repro.datalog.plan.logical.LogicalPlan` to an ordering policy
+and executes it with the indexed join machinery (hash-index candidate
+enumeration, single mutable binding with an undo trail, checks scheduled
+as soon as their variables are bound):
+
+* :meth:`PhysicalPlan.execute` runs the full stratified fixpoint --
+  the engine behind :func:`repro.datalog.evaluate.evaluate_program`;
+* :meth:`PhysicalPlan.execute_delta` runs one semi-naive delta pass
+  (each rule restricted, per positive occurrence, to the delta rows) --
+  the building block of both the in-fixpoint iteration and cross-step
+  incremental evaluation;
+* :meth:`PhysicalPlan.explain` renders a stable, testable description
+  of the chosen join orders and check schedules;
+* :meth:`PhysicalPlan.new_incremental` returns an
+  :class:`IncrementalExecutor` that steps a *flat* program (no derived
+  predicate in any body -- every Spocus output program) against
+  monotonically growing facts, caching per-rule results between steps
+  and re-deriving only from the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import EvaluationError, PlanError
+from repro.datalog.ast import (
+    Constant,
+    Inequality,
+    NegatedAtom,
+    Variable,
+)
+from repro.datalog.plan.cost import CostModel
+from repro.datalog.plan.logical import AtomNode, LogicalPlan, RuleNode
+from repro.datalog.plan.planner import (
+    ORDERING_COST,
+    ORDERINGS,
+    cost_order,
+    greedy_order,
+)
+from repro.relalg.indexes import FactStore
+
+Facts = Mapping[str, frozenset[tuple]]
+Binding = dict[Variable, object]
+
+_UNSET = object()
+
+
+def coerce_store(facts: "Facts | FactStore") -> FactStore:
+    if isinstance(facts, FactStore):
+        return facts
+    return FactStore(facts)
+
+
+def _term_value(term, binding: Binding):
+    if isinstance(term, Constant):
+        return term.value
+    if term in binding:
+        return binding[term]
+    return _UNSET
+
+
+def _check_bound_literal(literal, binding: Binding, store: FactStore) -> bool:
+    """Evaluate a fully-bound negated atom or inequality."""
+    if isinstance(literal, NegatedAtom):
+        row = literal.atom.ground_tuple(binding)
+        return not store.contains(literal.atom.predicate, row)
+    if isinstance(literal, Inequality):
+        return _term_value(literal.left, binding) != _term_value(
+            literal.right, binding
+        )
+    raise EvaluationError(f"not a checkable literal: {literal}")
+
+
+def _candidate_rows(atom, binding: Binding, store: FactStore):
+    """The rows of ``atom``'s relation compatible with ``binding``.
+
+    Uses a hash-index lookup on the bound positions; falls back to a
+    membership test when every position is bound and to a full scan when
+    none is.
+    """
+    positions: list[int] = []
+    key: list = []
+    for i, term in enumerate(atom.terms):
+        value = _term_value(term, binding)
+        if value is not _UNSET:
+            positions.append(i)
+            key.append(value)
+    if len(positions) == len(atom.terms):
+        row = tuple(key)
+        if store.contains(atom.predicate, row):
+            return (row,)
+        return ()
+    if positions:
+        return store.lookup(atom.predicate, tuple(positions), tuple(key))
+    return store.rows(atom.predicate)
+
+
+def _match_into(
+    atom, row: tuple, binding: Binding, trail: list[Variable]
+) -> bool:
+    """Extend ``binding`` in place so ``atom`` matches ``row``.
+
+    Newly bound variables are pushed on ``trail``; on mismatch the
+    caller unwinds via :func:`_undo_to`.  Index lookups already filtered
+    on the bound positions, so this only binds fresh variables and
+    re-checks repeated ones.
+    """
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return False
+        else:
+            bound = binding.get(term, _UNSET)
+            if bound is _UNSET:
+                binding[term] = value
+                trail.append(term)
+            elif bound != value:
+                return False
+    return True
+
+
+def _undo_to(binding: Binding, trail: list[Variable], mark: int) -> None:
+    while len(trail) > mark:
+        del binding[trail.pop()]
+
+
+def make_orderer(ordering: str, store: FactStore | None):
+    """The ``(atoms, first) -> order`` strategy for one ordering policy.
+
+    Cost ordering needs live statistics, so without a store it degrades
+    to the static greedy order (the documented stats-absent fallback).
+    """
+    if ordering == ORDERING_COST and store is not None:
+        model = CostModel(store)
+        return lambda positive, first=None: cost_order(
+            positive, store, model, first
+        )
+    return lambda positive, first=None: greedy_order(positive, store, first)
+
+
+class CompiledRule:
+    """One rule's physical state: its node plus memoized check schedules."""
+
+    __slots__ = ("node", "_schedules")
+
+    def __init__(self, node: RuleNode) -> None:
+        self.node = node
+        self._schedules: dict[tuple[int, ...], list[list]] = {}
+
+    def schedule(self, order: Sequence[AtomNode]) -> list[list]:
+        """``checks_at[i]``: checks to run right after ``order[i]`` matches."""
+        key = tuple(info.index for info in order)
+        cached = self._schedules.get(key)
+        if cached is not None:
+            return cached
+        checks_at: list[list] = [[] for _ in order]
+        bound: set[Variable] = set()
+        bound_by: list[set[Variable]] = []
+        for info in order:
+            bound |= info.variables
+            bound_by.append(set(bound))
+        for check in self.node.checks:
+            variables = set(check.variables())
+            for i, available in enumerate(bound_by):
+                if variables <= available:
+                    checks_at[i].append(check)
+                    break
+            else:
+                raise EvaluationError(
+                    f"literal {check} has variables not bound by any "
+                    "positive atom"
+                )
+        self._schedules[key] = checks_at
+        return checks_at
+
+
+def _join(
+    crule: CompiledRule,
+    store: FactStore,
+    orderer,
+    derived: set[tuple],
+    first: AtomNode | None = None,
+    first_rows=None,
+) -> None:
+    """Run the indexed join for one rule, adding head tuples to ``derived``.
+
+    With ``first``/``first_rows`` given, that occurrence is evaluated
+    first and enumerates only ``first_rows`` (the semi-naive delta
+    restriction); the other atoms read the full store.
+    """
+    node = crule.node
+    for check in node.pre_checks:
+        if not _check_bound_literal(check, {}, store):
+            return
+    order = orderer(node.positive, first)
+    checks_at = crule.schedule(order)
+    head = node.rule.head
+    binding: Binding = {}
+    trail: list[Variable] = []
+    depth = len(order)
+
+    def extend(index: int) -> None:
+        if index == depth:
+            derived.add(head.ground_tuple(binding))
+            return
+        atom = order[index].atom
+        if index == 0 and first_rows is not None:
+            candidates = first_rows
+        else:
+            candidates = _candidate_rows(atom, binding, store)
+        slot_checks = checks_at[index]
+        for row in candidates:
+            if len(row) != atom.arity:
+                continue
+            mark = len(trail)
+            if _match_into(atom, row, binding, trail):
+                if all(
+                    _check_bound_literal(check, binding, store)
+                    for check in slot_checks
+                ):
+                    extend(index + 1)
+            _undo_to(binding, trail, mark)
+
+    extend(0)
+
+
+def derive_rule(
+    crule: CompiledRule,
+    store: FactStore,
+    orderer,
+    delta: Facts | None = None,
+) -> set[tuple]:
+    """All head tuples one rule derives (optionally delta-restricted)."""
+    node = crule.node
+    derived: set[tuple] = set()
+    if not node.positive:
+        # Body is empty or has only checks over constants.  A delta pass
+        # can never use such a rule (no positive occurrence to restrict).
+        if delta is not None:
+            return derived
+        if all(_check_bound_literal(c, {}, store) for c in node.pre_checks):
+            derived.add(node.rule.head.ground_tuple({}))
+        return derived
+    if delta is None:
+        _join(crule, store, orderer, derived)
+        return derived
+    for info in node.positive:
+        delta_rows = delta.get(info.atom.predicate)
+        if not delta_rows:
+            continue
+        _join(crule, store, orderer, derived, first=info, first_rows=delta_rows)
+    return derived
+
+
+@dataclass
+class EvalCounters:
+    """Plan/evaluation counters of one session (or one executor).
+
+    ``full_rule_evals`` counts complete joins of a rule body;
+    ``delta_rule_evals`` counts delta-restricted joins;
+    ``delta_rules_skipped`` counts incremental rules skipped outright
+    because their delta was empty; ``static_cache_hits`` counts
+    database-only rules served from cache.  ``plans_compiled`` /
+    ``plan_cache_hits`` record whether this session's physical plan was
+    freshly compiled or reused.
+    """
+
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    full_rule_evals: int = 0
+    delta_rule_evals: int = 0
+    delta_rules_skipped: int = 0
+    static_cache_hits: int = 0
+
+    def copy(self) -> "EvalCounters":
+        return replace(self)
+
+    def __sub__(self, other: "EvalCounters") -> "EvalCounters":
+        return EvalCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+# Incremental rule categories: how one rule behaves across steps when
+# ``volatile`` predicates change arbitrarily and ``monotone`` ones grow.
+CATEGORY_RECOMPUTE = "recompute"  # touches volatile facts or negates monotone
+CATEGORY_DELTA = "delta"  # monotone positive body: cache + delta join
+CATEGORY_STATIC = "static"  # database-only body: cache forever
+
+
+class IncrementalExecutor:
+    """Cross-step incremental evaluation of one flat program.
+
+    The contract: between successive :meth:`step` calls, the rows of
+    every ``monotone`` predicate only grow and every non-``volatile``,
+    non-``monotone`` predicate (the database) never changes -- exactly
+    the Spocus situation, with per-step inputs volatile and cumulative
+    state monotone.  Each rule is classified once:
+
+    * ``recompute`` -- body mentions a volatile predicate (positively or
+      negated) or negates a monotone one: its derivations can appear
+      *and disappear*, so the rule re-joins every step (cheap: the
+      ordering starts at the tiny per-step input relations);
+    * ``delta`` -- positive atoms over monotone/database predicates
+      only, negation only on the database: derivations are monotone, so
+      the cached result is extended by a delta-restricted join over the
+      step's new monotone rows (or skipped when nothing changed);
+    * ``static`` -- database-only body: joined once, cached for the
+      session's lifetime.
+    """
+
+    __slots__ = ("plan", "volatile", "monotone", "categories", "_caches",
+                 "_previous", "counters")
+
+    def __init__(
+        self,
+        plan: "PhysicalPlan",
+        volatile: Iterable[str],
+        monotone: Iterable[str],
+    ) -> None:
+        program = plan.logical.program
+        heads = program.head_predicates()
+        if program.body_predicates() & heads:
+            raise PlanError(
+                "incremental execution needs a flat program (no derived "
+                "predicate in any rule body)"
+            )
+        self.plan = plan
+        self.volatile = frozenset(volatile)
+        self.monotone = frozenset(monotone)
+        overlap = self.volatile & self.monotone
+        if overlap:
+            raise PlanError(
+                f"predicates cannot be volatile and monotone: {sorted(overlap)}"
+            )
+        self.categories: list[str] = []
+        for crule in plan.compiled:
+            node = crule.node
+            positive = node.positive_predicates()
+            negated = node.negated_predicates()
+            if (positive | negated) & self.volatile:
+                category = CATEGORY_RECOMPUTE
+            elif negated & self.monotone:
+                category = CATEGORY_RECOMPUTE
+            elif positive & self.monotone:
+                category = CATEGORY_DELTA
+            else:
+                category = CATEGORY_STATIC
+            self.categories.append(category)
+        self._caches: list[frozenset[tuple] | set[tuple] | None] = [
+            None for _ in plan.compiled
+        ]
+        self._previous: dict[str, frozenset[tuple]] = {}
+        self.counters = EvalCounters()
+
+    def _delta_of(
+        self, monotone_rows: Mapping[str, frozenset[tuple]]
+    ) -> dict[str, frozenset[tuple]]:
+        """New rows per monotone predicate since the previous step."""
+        delta: dict[str, frozenset[tuple]] = {}
+        for name, rows in monotone_rows.items():
+            previous = self._previous.get(name)
+            if previous is None:
+                fresh = frozenset(rows)
+            elif len(rows) == len(previous):
+                continue  # monotone, so equal sizes mean equal sets
+            else:
+                fresh = frozenset(rows) - previous
+            if fresh:
+                delta[name] = fresh
+        return delta
+
+    def step(
+        self,
+        store: "Facts | FactStore",
+        monotone_rows: Mapping[str, frozenset[tuple]],
+    ) -> dict[str, frozenset[tuple]]:
+        """Derive all head facts for the current step.
+
+        ``store`` is the step's full fact store (volatile + monotone +
+        database); ``monotone_rows`` the current rows of each monotone
+        predicate, from which the executor computes the step's delta
+        itself.  Returns every head predicate mapped to its derived
+        rows.
+        """
+        store = coerce_store(store)
+        orderer = self.plan.orderer(store)
+        delta = self._delta_of(monotone_rows)
+        counters = self.counters
+        derived: dict[str, set[tuple]] = {
+            predicate: set() for predicate in self.plan.logical.idb
+        }
+        for i, crule in enumerate(self.plan.compiled):
+            category = self.categories[i]
+            if category == CATEGORY_RECOMPUTE:
+                rows = derive_rule(crule, store, orderer)
+                counters.full_rule_evals += 1
+            elif category == CATEGORY_STATIC:
+                cache = self._caches[i]
+                if cache is None:
+                    cache = frozenset(derive_rule(crule, store, orderer))
+                    self._caches[i] = cache
+                    counters.full_rule_evals += 1
+                else:
+                    counters.static_cache_hits += 1
+                rows = cache
+            else:  # CATEGORY_DELTA
+                cache = self._caches[i]
+                if cache is None:
+                    cache = derive_rule(crule, store, orderer)
+                    counters.full_rule_evals += 1
+                else:
+                    relevant = {
+                        name: delta[name]
+                        for name in crule.node.positive_preds
+                        if name in delta
+                    }
+                    if relevant:
+                        cache |= derive_rule(
+                            crule, store, orderer, delta=relevant
+                        )
+                        counters.delta_rule_evals += 1
+                    else:
+                        counters.delta_rules_skipped += 1
+                self._caches[i] = cache
+                rows = cache
+            derived[crule.node.rule.head.predicate].update(rows)
+        self._previous = {
+            name: frozenset(rows) for name, rows in monotone_rows.items()
+        }
+        return {name: frozenset(rows) for name, rows in derived.items()}
+
+
+class PhysicalPlan:
+    """An executable plan: logical structure + ordering policy."""
+
+    __slots__ = ("logical", "ordering", "compiled")
+
+    def __init__(
+        self, logical: LogicalPlan, ordering: str = ORDERING_COST
+    ) -> None:
+        if ordering not in ORDERINGS:
+            raise PlanError(
+                f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+            )
+        self.logical = logical
+        self.ordering = ordering
+        self.compiled = [CompiledRule(node) for node in logical.rules]
+
+    # -- ordering ----------------------------------------------------------------
+
+    def orderer(self, store: FactStore | None):
+        """An ``(atoms, first) -> order`` callable for one store."""
+        return make_orderer(self.ordering, store)
+
+    def _compiled_by_stratum(self) -> list[list[CompiledRule]]:
+        by_node = {id(crule.node): crule for crule in self.compiled}
+        return [
+            [by_node[id(node)] for node in stratum]
+            for stratum in self.logical.strata_rules()
+        ]
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        facts: "Facts | FactStore",
+        max_iterations: int = 100_000,
+    ) -> dict[str, frozenset[tuple]]:
+        """Stratified fixpoint evaluation; returns all facts (EDB + IDB).
+
+        ``facts`` may be a plain mapping or a pre-indexed
+        :class:`~repro.relalg.indexes.FactStore`; a store is layered
+        over, never mutated, so its indexes (e.g. over a large shared
+        catalog) are reused across executions.
+        """
+        if isinstance(facts, FactStore):
+            store = FactStore(base=facts)
+        else:
+            store = FactStore(facts)
+        for predicate in self.logical.idb:
+            store.ensure(predicate)
+        orderer = self.orderer(store)
+
+        for stratum_rules in self._compiled_by_stratum():
+            # First full pass.
+            delta: dict[str, frozenset[tuple]] = {}
+            for crule in stratum_rules:
+                head = crule.node.rule.head.predicate
+                fresh = store.add(head, derive_rule(crule, store, orderer))
+                if fresh:
+                    delta[head] = delta.get(head, frozenset()) | fresh
+            # Semi-naive iteration to fixpoint.
+            iterations = 0
+            while delta:
+                iterations += 1
+                if iterations > max_iterations:
+                    raise EvaluationError("fixpoint iteration budget exceeded")
+                next_delta: dict[str, frozenset[tuple]] = {}
+                for crule in stratum_rules:
+                    node = crule.node
+                    if not (node.body_preds & delta.keys()):
+                        continue
+                    head = node.rule.head.predicate
+                    fresh = store.add(
+                        head,
+                        derive_rule(crule, store, orderer, delta=delta),
+                    )
+                    if fresh:
+                        next_delta[head] = (
+                            next_delta.get(head, frozenset()) | fresh
+                        )
+                delta = next_delta
+        return store.as_dict()
+
+    def execute_delta(
+        self,
+        facts: "Facts | FactStore",
+        delta: Facts,
+    ) -> dict[str, frozenset[tuple]]:
+        """One semi-naive delta pass over every rule.
+
+        For each rule, runs one join variant per positive occurrence
+        whose predicate has delta rows, with that occurrence restricted
+        to the delta; ``facts`` must already contain the delta rows.
+        Returns the derived head tuples per head predicate (no
+        fixpoint: for flat/nonrecursive programs a single pass is
+        complete; recursive strata iterate this inside
+        :meth:`execute`).
+        """
+        store = coerce_store(facts)
+        orderer = self.orderer(store)
+        derived: dict[str, frozenset[tuple]] = {}
+        for crule in self.compiled:
+            head = crule.node.rule.head.predicate
+            rows = derive_rule(crule, store, orderer, delta=delta)
+            if rows or head not in derived:
+                derived[head] = derived.get(head, frozenset()) | rows
+        return derived
+
+    def new_incremental(
+        self, volatile: Iterable[str], monotone: Iterable[str]
+    ) -> IncrementalExecutor:
+        """A per-session incremental executor over this (shared) plan."""
+        return IncrementalExecutor(self, volatile, monotone)
+
+    # -- explain -----------------------------------------------------------------
+
+    def explain(self, store: "Facts | FactStore | None" = None) -> str:
+        """A stable, testable description of the plan.
+
+        With a store, join orders are the ones :meth:`execute` would
+        choose against it right now, annotated with relation sizes and
+        (under cost ordering) the cost model's row estimates.  Without
+        one, the static fallback order is shown.
+        """
+        if store is not None and not isinstance(store, FactStore):
+            store = FactStore(store)
+        model = (
+            CostModel(store)
+            if store is not None and self.ordering == ORDERING_COST
+            else None
+        )
+        orderer = self.orderer(store)
+        shape = "nonrecursive" if self.logical.nonrecursive else "recursive"
+        strata = self.logical.strata_rules()
+        lines = [
+            f"plan: ordering={self.ordering}, {len(self.compiled)} rules, "
+            f"{len(strata)} strata, {shape}"
+            + ("" if store is not None else " (no statistics: static order)")
+        ]
+        by_node = {id(crule.node): crule for crule in self.compiled}
+        for number, stratum in enumerate(strata, 1):
+            lines.append(f"stratum {number}:")
+            for node in stratum:
+                crule = by_node[id(node)]
+                lines.append(f"  {node.rule}")
+                if not node.positive:
+                    lines.append("    join: (no positive atoms)")
+                else:
+                    order = orderer(node.positive)
+                    parts = []
+                    bound: set[Variable] = set()
+                    for info in order:
+                        if store is None:
+                            parts.append(str(info.atom))
+                        else:
+                            rows = store.count(info.atom.predicate)
+                            note = f"rows={rows}"
+                            if model is not None:
+                                estimate = model.estimate(info, bound)
+                                note += f", est={estimate:g}"
+                            parts.append(f"{info.atom} [{note}]")
+                        bound |= info.variables
+                    lines.append("    join: " + " -> ".join(parts))
+                    for slot, checks in enumerate(crule.schedule(order)):
+                        for check in checks:
+                            lines.append(
+                                f"    check after {order[slot].atom}: {check}"
+                            )
+                for check in node.pre_checks:
+                    lines.append(f"    pre-check: {check}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalPlan(ordering={self.ordering!r}, "
+            f"rules={len(self.compiled)})"
+        )

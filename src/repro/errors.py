@@ -83,6 +83,14 @@ class EvaluationError(ReproError):
     """Evaluation of a datalog program or algebra expression failed."""
 
 
+class PlanError(EvaluationError):
+    """A query plan was requested outside its supported scope.
+
+    Subclasses :class:`EvaluationError` so existing handlers around the
+    evaluator keep working when planning is what actually failed.
+    """
+
+
 class SolverError(ReproError):
     """The SAT/BSR solver was given unsupported input."""
 

@@ -44,6 +44,7 @@ from repro.pods.store import (
     InMemoryStore,
     JsonlDirectoryStore,
     SessionStore,
+    migrate_sessions,
     open_store,
 )
 
@@ -61,5 +62,6 @@ __all__ = [
     "SessionStore",
     "InMemoryStore",
     "JsonlDirectoryStore",
+    "migrate_sessions",
     "open_store",
 ]

@@ -16,12 +16,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.datalog.plan import EvalCounters
 
 
 @dataclass
 class RuntimeMetrics:
-    """Aggregated counters of one pod service (or engine shim)."""
+    """Aggregated counters of one pod service (or engine shim).
+
+    The ``plans_*`` / ``*_rule_evals`` / ``*_skipped`` / ``*_hits``
+    fields aggregate the per-session
+    :class:`~repro.datalog.plan.physical.EvalCounters` the service
+    collects around every submit: how many physical plans were compiled
+    vs reused, and how much per-step work the incremental executor
+    turned into delta joins, outright skips, or static-cache hits.
+    """
 
     sessions_created: int = 0
     sessions_resumed: int = 0
@@ -30,6 +41,12 @@ class RuntimeMetrics:
     step_seconds_total: float = 0.0
     step_seconds_min: float = field(default=float("inf"))
     step_seconds_max: float = 0.0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    full_rule_evals: int = 0
+    delta_rule_evals: int = 0
+    delta_rules_skipped: int = 0
+    static_cache_hits: int = 0
     started_at: float = field(default_factory=time.perf_counter)
 
     def record_session(self) -> None:
@@ -49,6 +66,15 @@ class RuntimeMetrics:
         if seconds > self.step_seconds_max:
             self.step_seconds_max = seconds
 
+    def record_eval(self, counters: "EvalCounters") -> None:
+        """Fold one session's plan/evaluation counter delta in."""
+        self.plans_compiled += counters.plans_compiled
+        self.plan_cache_hits += counters.plan_cache_hits
+        self.full_rule_evals += counters.full_rule_evals
+        self.delta_rule_evals += counters.delta_rule_evals
+        self.delta_rules_skipped += counters.delta_rules_skipped
+        self.static_cache_hits += counters.static_cache_hits
+
     # -- aggregation -----------------------------------------------------------
 
     @classmethod
@@ -64,6 +90,12 @@ class RuntimeMetrics:
             total.sessions_closed += p.sessions_closed
             total.steps_executed += p.steps_executed
             total.step_seconds_total += p.step_seconds_total
+            total.plans_compiled += p.plans_compiled
+            total.plan_cache_hits += p.plan_cache_hits
+            total.full_rule_evals += p.full_rule_evals
+            total.delta_rule_evals += p.delta_rule_evals
+            total.delta_rules_skipped += p.delta_rules_skipped
+            total.static_cache_hits += p.static_cache_hits
             if p.step_seconds_min < total.step_seconds_min:
                 total.step_seconds_min = p.step_seconds_min
             if p.step_seconds_max > total.step_seconds_max:
@@ -105,4 +137,10 @@ class RuntimeMetrics:
                 else 0.0
             ),
             "max_step_latency_seconds": round(self.step_seconds_max, 9),
+            "plans_compiled": self.plans_compiled,
+            "plan_cache_hits": self.plan_cache_hits,
+            "full_rule_evals": self.full_rule_evals,
+            "delta_rule_evals": self.delta_rule_evals,
+            "delta_rules_skipped": self.delta_rules_skipped,
+            "static_cache_hits": self.static_cache_hits,
         }

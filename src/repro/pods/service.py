@@ -214,14 +214,18 @@ class PodService(_PodApi):
                 or self._store.load(session_id) is not None
             ):
                 raise SessionError(f"session already exists: {session_id!r}")
-        self._sessions[session_id] = Session(
+        session = Session(
             session_id,
             self._transducer,
             self._database,
             keep_log=self._keep_logs,
         )
+        self._sessions[session_id] = session
         self._store.record_created(session_id)
         self.metrics.record_session()
+        # Plan compile/reuse happened while building the session's
+        # step context; later submit() calls record only their delta.
+        self.metrics.record_eval(session.eval_counters())
         return SessionHandle(session_id, self._shard_index)
 
     def create_sessions(self, count: int) -> list[SessionHandle]:
@@ -275,6 +279,7 @@ class PodService(_PodApi):
         restored = self._restore(snapshot)
         self._sessions[session_id] = restored
         self.metrics.record_resume()
+        self.metrics.record_eval(restored.eval_counters())
         return restored
 
     def has_session(self, session: SessionHandle | str) -> bool:
@@ -312,10 +317,12 @@ class PodService(_PodApi):
         here, and the store write-through happens here.
         """
         session = self.session(request.session)
+        before = session.eval_counters()
         started = time.perf_counter()
         output = session.step(request.inputs)
         elapsed = time.perf_counter() - started
         self.metrics.record_step(elapsed)
+        self.metrics.record_eval(session.eval_counters() - before)
         self._store.record_step(
             session.session_id,
             session.steps,

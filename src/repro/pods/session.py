@@ -23,6 +23,7 @@ from typing import Iterable
 
 from repro.core.run import log_of_step
 from repro.core.transducer import InputLike, RelationalTransducer
+from repro.datalog.plan import EvalCounters
 from repro.relalg.instance import Instance
 
 
@@ -50,7 +51,7 @@ class Session:
     """
 
     __slots__ = ("session_id", "_transducer", "_database", "_state",
-                 "_steps", "_log", "_keep_log")
+                 "_steps", "_log", "_keep_log", "_ctx")
 
     def __init__(
         self,
@@ -70,6 +71,11 @@ class Session:
         self._steps = steps
         self._log: list[Instance] = list(log)
         self._keep_log = keep_log
+        # Per-session evaluation context: compiled-plan reuse plus
+        # cross-step incremental (delta) evaluation where the transducer
+        # supports it.  Restored sessions get a fresh context; its first
+        # step simply pays one full evaluation.
+        self._ctx = transducer.new_step_context(database)
 
     @property
     def state(self) -> Instance:
@@ -88,8 +94,8 @@ class Session:
         """Consume one input instance; return the step's output."""
         transducer = self._transducer
         current = transducer.coerce_input(inputs)
-        output = transducer.output_function(
-            current, self._state, self._database
+        output = transducer.output_with_context(
+            self._ctx, current, self._state, self._database
         )
         self._state = transducer.state_function(
             current, self._state, self._database
@@ -106,3 +112,14 @@ class Session:
     def log(self) -> SessionLog:
         """The session's log so far (empty when ``keep_log`` is off)."""
         return SessionLog(self.session_id, tuple(self._log))
+
+    def eval_counters(self) -> EvalCounters:
+        """This session's cumulative plan/evaluation counters.
+
+        Zeroes when the transducer steps without a context (e.g. a
+        :class:`~repro.core.transducer.FunctionalTransducer`).
+        """
+        counters = getattr(self._ctx, "counters", None)
+        if counters is None:
+            return EvalCounters()
+        return counters.copy()

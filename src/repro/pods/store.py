@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Protocol, TYPE_CHECKING, runtime_checkable
+from typing import Mapping, Protocol, TYPE_CHECKING, runtime_checkable
 
 from repro.errors import SessionError
 from repro.pods.api import Facts, SessionSnapshot, facts_of
@@ -105,6 +105,25 @@ class InMemoryStore:
     def record_closed(self, session_id: str) -> None:
         self._records.pop(session_id, None)
 
+    def import_snapshot(self, snapshot: SessionSnapshot) -> None:
+        """Adopt a session from another store (plain-facts form)."""
+        if snapshot.session_id in self._records:
+            raise SessionError(
+                f"session already exists: {snapshot.session_id!r}"
+            )
+        self._records[snapshot.session_id] = [
+            snapshot.steps,
+            dict(snapshot.state_facts),
+            [dict(entry) for entry in snapshot.log_facts],
+        ]
+
+    @staticmethod
+    def _facts(value) -> Facts:
+        """Records hold live instances (hot path) or plain facts (import)."""
+        if isinstance(value, Mapping):
+            return value
+        return facts_of(value)
+
     def load(self, session_id: str) -> SessionSnapshot | None:
         record = self._records.get(session_id)
         if record is None:
@@ -113,8 +132,8 @@ class InMemoryStore:
         return SessionSnapshot(
             session_id,
             steps,
-            facts_of(state) if state is not None else {},
-            tuple(facts_of(entry) for entry in log),
+            self._facts(state) if state is not None else {},
+            tuple(self._facts(entry) for entry in log),
         )
 
     def session_ids(self) -> list[str]:
@@ -151,13 +170,24 @@ class JsonlDirectoryStore:
     monotone and small) plus that step's log entry; closing appends a
     ``closed`` record, after which the session is no longer resumable
     (recreating the id truncates the file).  :meth:`load` replays the
-    file: state and step count come from the last ``step`` record, the
-    log is the concatenation of all entries.
+    file: state and step count come from the last ``step`` (or
+    ``snapshot``) record, the log is the concatenation of all entries.
+
+    Because each ``step`` record restates the cumulative state, only the
+    last one is load-bearing; on open the store therefore *compacts*
+    every session file down to its created record plus one ``snapshot``
+    record (last state + step count + the full log), so a long-lived pod
+    directory stays O(state + log) instead of O(steps * state).  Pass
+    ``compact_on_open=False`` to inspect files as written.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self, directory: str | Path, *, compact_on_open: bool = True
+    ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        if compact_on_open:
+            self.compact()
 
     @property
     def directory(self) -> Path:
@@ -200,6 +230,69 @@ class JsonlDirectoryStore:
     def record_closed(self, session_id: str) -> None:
         self._append(session_id, {"kind": "closed"})
 
+    @staticmethod
+    def _snapshot_record(snapshot: SessionSnapshot) -> dict:
+        """A single record restating a session's whole persistent state."""
+        return {
+            "kind": "snapshot",
+            "steps": snapshot.steps,
+            "state": _encode_facts(snapshot.state_facts),
+            "logs": [_encode_facts(entry) for entry in snapshot.log_facts],
+            "version": 1,
+        }
+
+    def import_snapshot(self, snapshot: SessionSnapshot) -> None:
+        """Adopt a session from another store (one snapshot record)."""
+        if self.load(snapshot.session_id) is not None:
+            raise SessionError(
+                f"session already exists: {snapshot.session_id!r}"
+            )
+        self.record_created(snapshot.session_id)
+        self._append(snapshot.session_id, self._snapshot_record(snapshot))
+
+    def compact(self) -> int:
+        """Fold every multi-record session file into one snapshot line.
+
+        Equivalent by construction: the rewritten file loads to exactly
+        the snapshot the original file loads to.  Files already compact
+        (at most one state-bearing record) and closed sessions are left
+        untouched.  Returns the number of files rewritten.
+        """
+        # A crash between writing a scratch file and the atomic replace
+        # leaves a stale .tmp behind; sweep them before rewriting.
+        for stale in self._directory.glob("*.jsonl.tmp"):
+            stale.unlink()
+        compacted = 0
+        for path in sorted(self._directory.glob("*.jsonl")):
+            records = []
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        records.append(json.loads(line))
+            kinds = [record.get("kind") for record in records]
+            if "closed" in kinds:
+                continue
+            if sum(1 for kind in kinds if kind in ("step", "snapshot")) <= 1:
+                continue
+            snapshot = self.load(path.stem)
+            if snapshot is None:
+                continue
+            created = next(
+                (r for r in records if r.get("kind") == "created"),
+                {"kind": "created", "session_id": path.stem, "version": 1},
+            )
+            scratch = path.with_name(path.name + ".tmp")
+            with scratch.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(created, sort_keys=True) + "\n")
+                handle.write(
+                    json.dumps(self._snapshot_record(snapshot), sort_keys=True)
+                    + "\n"
+                )
+            scratch.replace(path)
+            compacted += 1
+        return compacted
+
     def load(self, session_id: str) -> SessionSnapshot | None:
         path = self.path_of(session_id)
         if not path.exists():
@@ -216,6 +309,13 @@ class JsonlDirectoryStore:
                 kind = record.get("kind")
                 if kind == "closed":
                     return None
+                if kind == "snapshot":
+                    steps = record["steps"]
+                    state_facts = _decode_facts(record["state"])
+                    log_facts = [
+                        _decode_facts(entry) for entry in record["logs"]
+                    ]
+                    continue
                 if kind != "step":
                     continue
                 steps = record["steps"]
@@ -230,6 +330,45 @@ class JsonlDirectoryStore:
             if self.load(path.stem) is not None:
                 ids.append(path.stem)
         return ids
+
+
+def migrate_sessions(
+    src_store: SessionStore, dst_store: SessionStore
+) -> list[str]:
+    """Copy every resumable session of ``src_store`` into ``dst_store``.
+
+    Snapshots travel in their plain-facts wire form, so sessions move
+    freely between store implementations (in-memory to JSONL directory
+    and back); a service opened over ``dst_store`` resumes them exactly
+    where they stopped.  The source is left untouched -- drop or retire
+    it once the destination is live.  Raises
+    :class:`~repro.errors.SessionError` if the destination already knows
+    one of the ids (or cannot import snapshots); returns the migrated
+    ids in sorted order.
+    """
+    importer = getattr(dst_store, "import_snapshot", None)
+    if importer is None:
+        raise SessionError(
+            f"destination store {dst_store!r} does not support "
+            "import_snapshot"
+        )
+    source_ids = src_store.session_ids()
+    collisions = set(source_ids) & set(dst_store.session_ids())
+    if collisions:
+        # Refuse before importing anything, so a failed migration never
+        # leaves the destination half-populated.
+        raise SessionError(
+            f"sessions already exist in the destination: "
+            f"{sorted(collisions)}"
+        )
+    migrated: list[str] = []
+    for session_id in source_ids:
+        snapshot = src_store.load(session_id)
+        if snapshot is None:
+            continue
+        importer(snapshot)
+        migrated.append(session_id)
+    return migrated
 
 
 def open_store(target: "SessionStore | str | Path | None") -> SessionStore:

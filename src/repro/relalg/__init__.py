@@ -10,7 +10,7 @@ dependencies on the rest of the library.
 from repro.relalg.domain import LabeledNull, active_domain, fresh_null, is_null
 from repro.relalg.schema import DatabaseSchema, RelationSchema
 from repro.relalg.instance import Instance
-from repro.relalg.indexes import FactStore
+from repro.relalg.indexes import FactStore, IndexStats
 from repro.relalg.algebra import (
     difference,
     intersection,
@@ -54,6 +54,7 @@ __all__ = [
     "RelationSchema",
     "Instance",
     "FactStore",
+    "IndexStats",
     "select",
     "project",
     "natural_join",

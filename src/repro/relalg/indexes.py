@@ -24,11 +24,32 @@ transducer step layers its small input/state facts on top.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 Positions = tuple[int, ...]
 Key = tuple
 _Buckets = dict[Key, list[tuple]]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Statistics of one (predicate, positions) hash index.
+
+    ``rows`` is the relation's cardinality, ``distinct_keys`` the number
+    of populated buckets.  ``rows / distinct_keys`` is the classic
+    average-bucket estimate of how many rows an index lookup returns,
+    which is what the query planner's cost model consumes.
+    """
+
+    rows: int
+    distinct_keys: int
+
+    @property
+    def average_bucket(self) -> float:
+        if self.distinct_keys <= 0:
+            return 0.0
+        return self.rows / self.distinct_keys
 
 
 class FactStore:
@@ -121,6 +142,10 @@ class FactStore:
             if self._base is not None:
                 return self._base.lookup(predicate, positions, key)
             return ()
+        return self._buckets(predicate, positions).get(key, ())
+
+    def _buckets(self, predicate: str, positions: Positions) -> _Buckets:
+        """The bucket map of the (local) index, built on first use."""
         per_pred = self._indexes.setdefault(predicate, {})
         buckets = per_pred.get(positions)
         if buckets is None:
@@ -135,7 +160,22 @@ class FactStore:
                 bucket_key = tuple(row[p] for p in positions)
                 buckets.setdefault(bucket_key, []).append(row)
             per_pred[positions] = buckets
-        return buckets.get(key, ())
+        return buckets
+
+    def index_stats(self, predicate: str, positions: Positions) -> IndexStats:
+        """Cardinality and distinct-key count of ``predicate`` on ``positions``.
+
+        Builds (and caches) the index on first use, so the statistics the
+        planner reads come from the exact structure the executor's
+        lookups will hit; requests for base-layer predicates are
+        delegated so the shared catalog is profiled once.
+        """
+        if predicate not in self._rows:
+            if self._base is not None:
+                return self._base.index_stats(predicate, positions)
+            return IndexStats(0, 0)
+        buckets = self._buckets(predicate, positions)
+        return IndexStats(len(self._rows[predicate]), len(buckets))
 
     # -- write side ------------------------------------------------------------
 

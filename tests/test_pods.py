@@ -400,3 +400,196 @@ class TestMergedMetrics:
         merged = RuntimeMetrics.merged([])
         assert merged.steps_executed == 0
         assert merged.snapshot()["min_step_latency_seconds"] == 0.0
+
+
+class TestSnapshotCompaction:
+    def test_reopen_truncates_to_created_plus_snapshot(self, tmp_path):
+        service = PodService(
+            build_short(), default_database(), store=tmp_path / "pods"
+        )
+        handle = service.create_session("alice")
+        service.run_session(handle, FIGURE1_INPUTS)
+        path = service.store.path_of("alice")
+        assert len(path.read_text().splitlines()) == 1 + len(FIGURE1_INPUTS)
+        before = service.store.load("alice")
+        del service
+
+        reopened = JsonlDirectoryStore(tmp_path / "pods")
+        assert len(path.read_text().splitlines()) == 2
+        assert reopened.load("alice") == before
+
+    def test_restart_equivalence_after_compaction(self, tmp_path):
+        """Acceptance: compaction on restart changes bytes, not behavior
+        -- the resumed session finishes with the uninterrupted run's
+        exact log and state."""
+        transducer = build_friendly()
+        catalog = CatalogGenerator(seed=5).generate(25)
+        scripts = make_scripts(4, 6, catalog)
+
+        uninterrupted = PodService(transducer, catalog.as_database())
+        for session_id in scripts:
+            uninterrupted.create_session(session_id)
+        uninterrupted.drive(scripts)
+
+        interrupted = PodService(
+            transducer, catalog.as_database(), store=tmp_path / "pods"
+        )
+        for session_id in scripts:
+            interrupted.create_session(session_id)
+        interrupted.drive({sid: script[:3] for sid, script in scripts.items()})
+        del interrupted
+
+        # Reopening the directory compacts every session file ...
+        revived = PodService(
+            transducer, catalog.as_database(), store=tmp_path / "pods"
+        )
+        store = revived.store
+        for session_id in scripts:
+            assert len(store.path_of(session_id).read_text().splitlines()) == 2
+        # ... and the runs continue exactly where they stopped.
+        revived.drive({sid: script[3:] for sid, script in scripts.items()})
+        for session_id in scripts:
+            assert (
+                list(revived.session(session_id).log().entries)
+                == list(uninterrupted.session(session_id).log().entries)
+            )
+            assert (
+                revived.session(session_id).state
+                == uninterrupted.session(session_id).state
+            )
+
+    def test_compaction_is_idempotent_and_files_stay_appendable(
+        self, tmp_path
+    ):
+        service = PodService(
+            build_short(), default_database(), store=tmp_path / "pods"
+        )
+        handle = service.create_session("alice")
+        service.run_session(handle, FIGURE1_INPUTS[:2])
+        store = JsonlDirectoryStore(tmp_path / "pods")
+        assert store.compact() == 0  # open already compacted it
+        before = store.load("alice")
+
+        # New steps append after the snapshot record and replay on top.
+        revived = PodService(
+            build_short(), default_database(), store=store
+        )
+        revived.run_session(handle, FIGURE1_INPUTS[2:])
+        after = store.load("alice")
+        assert after.steps == len(FIGURE1_INPUTS)
+        assert len(after.log_facts) == len(FIGURE1_INPUTS)
+        assert before.log_facts == after.log_facts[:2]
+
+    def test_compact_skips_closed_and_fresh_sessions(self, tmp_path):
+        store = JsonlDirectoryStore(tmp_path / "pods")
+        service = PodService(build_short(), default_database(), store=store)
+        closed = service.create_session("closed")
+        service.run_session(closed, FIGURE1_INPUTS[:2])
+        service.close_session(closed)
+        service.create_session("fresh")
+        assert store.compact() == 0
+        assert store.load("closed") is None
+        assert store.load("fresh").steps == 0
+
+
+class TestSessionMigration:
+    def test_memory_to_jsonl_round_trip(self, tmp_path):
+        from repro.pods import migrate_sessions
+
+        memory = InMemoryStore()
+        service = PodService(build_short(), default_database(), store=memory)
+        for session_id in ("alice", "bob"):
+            service.create_session(session_id)
+        service.run_session("alice", FIGURE1_INPUTS[:2])
+        service.run_session("bob", FIGURE1_INPUTS[:1])
+
+        jsonl = JsonlDirectoryStore(tmp_path / "pods")
+        assert migrate_sessions(memory, jsonl) == ["alice", "bob"]
+        back = InMemoryStore()
+        assert migrate_sessions(jsonl, back) == ["alice", "bob"]
+        for session_id in ("alice", "bob"):
+            assert back.load(session_id) == memory.load(session_id)
+
+    def test_migrated_sessions_resume_exactly(self, tmp_path):
+        from repro.pods import migrate_sessions
+
+        memory = InMemoryStore()
+        service = PodService(build_short(), default_database(), store=memory)
+        handle = service.create_session("alice")
+        service.run_session(handle, FIGURE1_INPUTS[:2])
+
+        jsonl = JsonlDirectoryStore(tmp_path / "pods")
+        migrate_sessions(memory, jsonl)
+        moved = PodService(build_short(), default_database(), store=jsonl)
+        moved.run_session(handle, FIGURE1_INPUTS[2:])
+        run = build_short().run(default_database(), FIGURE1_INPUTS)
+        assert list(moved.session(handle).log().entries) == list(run.logs)
+
+    def test_collisions_and_unsupported_destinations_raise(self):
+        from repro.pods import migrate_sessions
+
+        memory = InMemoryStore()
+        service = PodService(build_short(), default_database(), store=memory)
+        service.create_session("alice")
+        service.create_session("bob")
+        target = InMemoryStore()
+        target.record_created("bob")
+        with pytest.raises(SessionError, match="already exist"):
+            migrate_sessions(memory, target)
+        # The collision is detected up front: nothing was migrated.
+        assert target.session_ids() == ["bob"]
+        with pytest.raises(SessionError, match="import_snapshot"):
+            migrate_sessions(memory, object())
+
+
+class TestEvalMetrics:
+    def test_plan_and_eval_counters_aggregate(self):
+        service = PodService(build_short(), default_database())
+        first = service.create_session()
+        second = service.create_session()
+        service.run_session(first, FIGURE1_INPUTS)
+        service.run_session(second, FIGURE1_INPUTS[:2])
+        metrics = service.metrics
+        # One compiled plan shared by both sessions (possibly compiled
+        # by an earlier test: the cache is process-wide).
+        assert metrics.plans_compiled + metrics.plan_cache_hits == 2
+        assert metrics.full_rule_evals > 0
+        snapshot = metrics.snapshot()
+        assert {
+            "plans_compiled",
+            "plan_cache_hits",
+            "full_rule_evals",
+            "delta_rule_evals",
+            "delta_rules_skipped",
+            "static_cache_hits",
+        } <= set(snapshot)
+
+    def test_delta_counters_fire_for_state_only_rules(self):
+        from repro.core.spocus import SpocusTransducer
+
+        transducer = SpocusTransducer.make(
+            inputs={"add": 1},
+            outputs={"seen": 1, "known": 2},
+            database={"db": 2},
+            rules="seen(X) :- add(X);"
+                  "known(X, Y) :- past-add(X), db(X, Y);",
+        )
+        service = PodService(
+            transducer, {"db": {("a", "b"), ("b", "c")}}
+        )
+        handle = service.create_session()
+        for value in ("a", "b", "a"):
+            service.submit(StepRequest(handle, {"add": {(value,)}}))
+        metrics = service.metrics
+        # The output of step i sees the state cumulated through step
+        # i-1: step 1 evaluates 'known' in full (empty cache), steps 2
+        # and 3 extend it from the past-add deltas {a} and {b}.
+        assert metrics.delta_rule_evals == 2
+        assert metrics.delta_rules_skipped == 0
+        # Step 3 re-added 'a', so step 4 sees unchanged state and the
+        # rule is skipped outright -- yet still answers from cache.
+        result = service.submit(StepRequest(handle, {"add": {("c",)}}))
+        assert service.metrics.delta_rules_skipped == 1
+        assert result.output["known"] == frozenset(
+            {("a", "b"), ("b", "c")}
+        )
