@@ -1,0 +1,294 @@
+"""E19: the Verifier API -- plan-backed property checking and audit cost.
+
+Two measurements on a verify/audit workload (the E18 audit store plus a
+``restricted`` catalog relation):
+
+* **Offline run checking**: a T_past-input compliance property
+  ("no past order in a restricted category") checked over every stage
+  of a concrete run.  The seed-era path
+  (:func:`repro.verify.temporal.check_run_satisfies`) grounds the
+  universal quantifiers over the whole active domain at every stage;
+  the PR 4 monitor compiles the property's violation into a datalog
+  rule and executes it with the indexed, cost-ordered join machinery
+  (delta-stepped across stages, since the rule reads only cumulative
+  state and the database).  Both must return the same verdicts.
+* **Audited stepping overhead**: the same sessions driven through
+  ``PodService.submit()`` bare vs with an attached
+  :class:`~repro.verify.api.OnlineAuditor` carrying that property --
+  the price of checking every step of live traffic.
+
+Run as a script to emit the ``BENCH_e19.json`` perf record::
+
+    python benchmarks/bench_e19_verifier.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.core.spocus import SpocusTransducer
+from repro.datalog.ast import Variable
+from repro.logic.fol import And, Forall, Implies, Not, Rel
+from repro.pods import PodService, StepRequest
+from repro.verify.api import OnlineAuditor, TemporalProperty, Verifier
+from repro.verify.temporal import check_run_satisfies
+
+SEED = 11
+
+X, C = Variable("X"), Variable("C")
+
+#: Compliance: nothing from a restricted category is ever ordered.
+#: The violation compiles to the state/database-only rule
+#: ``__violation :- past-order(X), category(X, C), restricted(C)``,
+#: which the monitor delta-steps from each stage's new state rows.
+NO_RESTRICTED_ORDERS = Forall(
+    (X, C),
+    Implies(
+        And((Rel("past-order", (X,)), Rel("category", (X, C)))),
+        Not(Rel("restricted", (C,))),
+    ),
+)
+
+
+def build_audit_store() -> SpocusTransducer:
+    """The E18 audit store plus the ``restricted`` catalog relation."""
+    return SpocusTransducer.make(
+        inputs={"order": 1, "pay": 2},
+        outputs={
+            "sendbill": 2,
+            "deliver": 1,
+            "history": 2,
+            "exposure": 2,
+        },
+        database={"price": 2, "category": 2, "region": 2, "restricted": 1},
+        rules="""
+        sendbill(X, P) :- order(X), price(X, P), NOT past-pay(X, P);
+        deliver(X) :- past-order(X), price(X, P), pay(X, P),
+                      NOT past-pay(X, P);
+        history(X, C) :- past-order(X), category(X, C);
+        exposure(C, R) :- past-order(X), category(X, C), region(C, R);
+        """,
+        log=("sendbill", "deliver"),
+    )
+
+
+def audit_database(products: int, restricted: tuple = ()) -> dict:
+    return {
+        "price": {(f"p{i}", 10 + i % 90) for i in range(products)},
+        "category": {(f"p{i}", f"c{i % 20}") for i in range(products)},
+        "region": {(f"c{c}", f"r{c % 5}") for c in range(20)},
+        "restricted": {(c,) for c in restricted},
+    }
+
+
+def audit_script(
+    products: int, steps: int, orders_per_step: int, seed: int = SEED
+) -> list[dict]:
+    rng = random.Random(seed)
+    ordered: list[str] = []
+    script = []
+    for _ in range(steps):
+        fresh = [
+            f"p{rng.randrange(products)}" for _ in range(orders_per_step)
+        ]
+        ordered.extend(fresh)
+        pay = rng.choice(ordered)
+        script.append(
+            {
+                "order": {(p,) for p in fresh},
+                "pay": {(pay, 10 + int(pay[1:]) % 90)},
+            }
+        )
+    return script
+
+
+# -- offline: plan-backed vs naive run checking -------------------------------
+
+
+def measure_offline(products: int, steps: int, orders_per_step: int) -> dict:
+    """Check the compliance property over one run, both ways."""
+    transducer = build_audit_store()
+    database = transducer.coerce_database(audit_database(products))
+    script = audit_script(products, steps, orders_per_step)
+    run = transducer.run(database, script)
+    verifier = Verifier(transducer, database)
+    spec = TemporalProperty(NO_RESTRICTED_ORDERS, name="no restricted orders")
+
+    started = time.perf_counter()
+    plan_verdict = verifier.check_run(spec, script)
+    plan_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    naive_holds = check_run_satisfies(
+        transducer, run, NO_RESTRICTED_ORDERS, database
+    )
+    naive_seconds = time.perf_counter() - started
+
+    assert plan_verdict.holds == naive_holds, "paths must agree"
+    return {
+        "stages": steps,
+        "catalog_products": products,
+        "plan_seconds": round(plan_seconds, 6),
+        "naive_seconds": round(naive_seconds, 6),
+        "verdicts_agree": True,
+        "holds": bool(naive_holds),
+        "speedup": naive_seconds / plan_seconds if plan_seconds else 0.0,
+    }
+
+
+# -- online: audited vs unaudited stepping ------------------------------------
+
+
+def run_sessions(
+    auditor_factory, products: int, steps: int, orders_per_step: int,
+    sessions: int,
+):
+    transducer = build_audit_store()
+    auditor = auditor_factory() if auditor_factory else None
+    service = PodService(
+        transducer, audit_database(products), auditor=auditor
+    )
+    handles = [service.create_session(f"s{n}") for n in range(sessions)]
+    script = audit_script(products, steps, orders_per_step)
+    for inputs in script:
+        for handle in handles:
+            service.submit(StepRequest(handle, inputs))
+    return service
+
+
+def measure_audit_overhead(
+    products: int, steps: int, orders_per_step: int, sessions: int = 4
+) -> dict:
+    bare = run_sessions(None, products, steps, orders_per_step, sessions)
+    bare_rate = bare.metrics.steps_per_second()
+
+    def factory():
+        return OnlineAuditor(
+            [TemporalProperty(NO_RESTRICTED_ORDERS, name="no restricted orders")]
+        )
+
+    audited = run_sessions(factory, products, steps, orders_per_step, sessions)
+    audited_rate = audited.metrics.steps_per_second()
+    snapshot = audited.metrics.snapshot()
+    assert snapshot["audit_violations"] == 0, "clean workload must stay clean"
+    return {
+        "sessions": sessions,
+        "steps_per_session": steps,
+        "unaudited_steps_per_second": round(bare_rate, 3),
+        "audited_steps_per_second": round(audited_rate, 3),
+        "audit_checks": snapshot["audit_checks"],
+        "audit_delta_rule_evals": snapshot["delta_rule_evals"],
+        "audit_delta_rules_skipped": snapshot["delta_rules_skipped"],
+        "violations": snapshot["audit_violations"],
+        "ratio": audited_rate / bare_rate if bare_rate else 0.0,
+    }
+
+
+def run_experiment(products: int, steps: int, orders_per_step: int) -> dict:
+    offline = measure_offline(products, steps, orders_per_step)
+    audit = measure_audit_overhead(products, steps, orders_per_step)
+    return {
+        "experiment": "e19_verifier",
+        "workload": {
+            "property": "no restricted orders (state+database violation rule)",
+            "store": "spocus audit transducer (E18 shape + restricted/1)",
+            "seed": SEED,
+        },
+        "offline": offline,
+        "audit": audit,
+        "steps_per_second": audit["audited_steps_per_second"],
+        "plan_vs_naive_speedup": round(offline["speedup"], 3),
+        "audited_vs_unaudited_ratio": round(audit["ratio"], 3),
+        "python": platform.python_version(),
+    }
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_e19_plan_and_naive_run_checks_agree():
+    """Acceptance: the compiled monitor and the seed-era domain-grounding
+    checker return identical verdicts, on clean and violating runs."""
+    transducer = build_audit_store()
+    spec = TemporalProperty(NO_RESTRICTED_ORDERS)
+    script = audit_script(40, 6, 3)
+    for restricted in ((), ("c1", "c7")):
+        database = transducer.coerce_database(
+            audit_database(40, restricted=restricted)
+        )
+        run = transducer.run(database, script)
+        verifier = Verifier(transducer, database)
+        verdict = verifier.check_run(spec, script)
+        naive = check_run_satisfies(
+            transducer, run, NO_RESTRICTED_ORDERS, database
+        )
+        assert verdict.holds == naive
+        if not verdict.holds:
+            assert verdict.trace.reproduces(transducer, database)
+
+
+def test_e19_plan_backed_checking_is_not_slower():
+    """Guard against plan-path collapse; the full record shows the
+    real margin (generous bound for noisy shared runners)."""
+    results = measure_offline(products=80, steps=10, orders_per_step=4)
+    print(f"\nE19 offline speedup (plan vs naive): {results['speedup']:.2f}x")
+    assert results["verdicts_agree"]
+    assert results["speedup"] >= 0.8
+
+
+def test_e19_audited_stepping_overhead_is_bounded():
+    record = measure_audit_overhead(products=80, steps=10, orders_per_step=4,
+                                    sessions=2)
+    print(
+        f"\nE19 audit overhead: bare {record['unaudited_steps_per_second']:.0f}"
+        f" steps/s, audited {record['audited_steps_per_second']:.0f} steps/s"
+        f" ({record['ratio']:.2f}x)"
+    )
+    # Wall-clock guard only; the full record is the real claim.
+    assert record["ratio"] >= 0.2
+
+
+def test_e19_violations_are_caught_with_replayable_traces():
+    transducer = build_audit_store()
+    database = audit_database(40, restricted=("c3",))
+    auditor = OnlineAuditor([TemporalProperty(NO_RESTRICTED_ORDERS)])
+    service = PodService(transducer, database, auditor=auditor)
+    handle = service.create_session("restricted-buyer")
+    service.submit(StepRequest(handle, {"order": {("p3",)}, "pay": set()}))
+    findings = service.audit_findings()
+    assert [f.step for f in findings] == [1]
+    assert findings[0].trace.reproduces(transducer, database)
+    assert service.metrics.audit_violations == 1
+
+
+# -- script entry point -------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI (short run, small catalog)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_e19.json",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        record = run_experiment(products=80, steps=12, orders_per_step=4)
+    else:
+        record = run_experiment(products=150, steps=30, orders_per_step=6)
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -23,13 +23,24 @@ HEADLINE_KEYS = ("steps_per_second", "sessions_per_second")
 
 
 def load_records(root: Path) -> list[tuple[str, dict]]:
-    """All (file name, record) pairs, sorted by file name (= experiment)."""
+    """All (file name, record) pairs, sorted by file name (= experiment).
+
+    Unparseable files and records that are not JSON objects are skipped
+    with a note instead of crashing the whole report: every PR adds a
+    record with its own schema, and the trajectory must keep rendering
+    whatever mix is checked in.
+    """
     records = []
     for path in sorted(root.glob("BENCH_*.json")):
         try:
-            records.append((path.name, json.loads(path.read_text())))
+            record = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
             print(f"skipping {path.name}: {error}")
+            continue
+        if not isinstance(record, dict):
+            print(f"skipping {path.name}: not a JSON object")
+            continue
+        records.append((path.name, record))
     return records
 
 
@@ -37,26 +48,49 @@ def _is_number(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _is_ratio_key(key: str) -> bool:
+    return key.endswith("_speedup") or key.endswith("_ratio") or key == "speedup"
+
+
 def headline_metric(record: dict) -> tuple[str, float] | None:
-    """The record's main throughput number, if it reports one."""
+    """The record's main throughput number, if it reports one.
+
+    Prefers the conventional keys; otherwise falls back to any
+    top-level numeric field that is not a cross-configuration ratio.
+    Records without one (e.g. pure-comparison experiments) simply have
+    no headline -- callers must tolerate None.
+    """
     for key in HEADLINE_KEYS:
         value = record.get(key)
         if _is_number(value):
             return key, float(value)
     for key, value in sorted(record.items()):
-        if _is_number(value) and key != "python":
+        if _is_number(value) and key != "python" and not _is_ratio_key(key):
             return key, float(value)
     return None
 
 
 def ratio_metrics(record: dict) -> list[tuple[str, float]]:
-    """All speedup/ratio fields of a record (cross-configuration facts)."""
-    return [
+    """All speedup/ratio fields of a record (cross-configuration facts).
+
+    Top-level keys win; when a record keeps its ratios only inside
+    nested sections (schemas vary per experiment), those are surfaced
+    with dotted names instead of being dropped.
+    """
+    found = [
         (key, float(value))
         for key, value in sorted(record.items())
-        if _is_number(value)
-        and (key.endswith("_speedup") or key.endswith("_ratio"))
+        if _is_number(value) and _is_ratio_key(key)
     ]
+    if found:
+        return found
+    for section, value in sorted(record.items()):
+        if not isinstance(value, dict):
+            continue
+        for key, nested in sorted(value.items()):
+            if _is_number(nested) and _is_ratio_key(key):
+                found.append((f"{section}.{key}", float(nested)))
+    return found
 
 
 def format_table(records: list[tuple[str, dict]]) -> str:
@@ -148,10 +182,39 @@ def test_ratio_metrics_picks_speedups_and_ratios():
 
 def test_repo_records_are_loadable():
     records = load_records(Path(__file__).resolve().parent.parent)
-    assert any(name.startswith("BENCH_e16") for name, _record in records)
-    assert any(name.startswith("BENCH_e18") for name, _record in records)
-    for _name, record in records:
-        assert headline_metric(record) is not None
+    names = {name for name, _record in records}
+    for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19"):
+        assert any(name.startswith(expected) for name in names)
+    # The table and chart must render whatever mix of schemas exists,
+    # headline or not.
+    assert format_table(records)
+    assert format_ascii_chart(records)
+
+
+def test_heterogeneous_records_are_tolerated(tmp_path):
+    """Records without the e16-e18 keys (or without any numbers, or not
+    even objects) must not break the report."""
+    (tmp_path / "BENCH_xa.json").write_text('{"experiment": "notes only"}')
+    (tmp_path / "BENCH_xb.json").write_text('[1, 2, 3]')
+    (tmp_path / "BENCH_xc.json").write_text(
+        '{"experiment": "nested", "part": {"speedup": 3.5}, '
+        '"steps_per_second": 7.0}'
+    )
+    records = load_records(tmp_path)
+    assert [name for name, _ in records] == ["BENCH_xa.json", "BENCH_xc.json"]
+    assert headline_metric(records[0][1]) is None
+    assert ratio_metrics(records[0][1]) == []
+    assert ratio_metrics(records[1][1]) == [("part.speedup", 3.5)]
+    assert "-" in format_table(records)
+    assert "7" in format_ascii_chart(records)
+
+
+def test_headline_skips_bare_ratio_records():
+    """A record reporting only comparison ratios has no headline (the
+    old fallback wrongly promoted the alphabetically first ratio)."""
+    record = {"python": "3.12", "a_vs_b_speedup": 9.0, "speedup": 2.0}
+    assert headline_metric(record) is None
+    assert ("a_vs_b_speedup", 9.0) in ratio_metrics(record)
 
 
 def test_e18_record_claims_hold():
@@ -162,6 +225,18 @@ def test_e18_record_claims_hold():
     assert record["cost_vs_greedy_speedup"] >= 1.0
     assert record["delta_vs_full_speedup"] > 1.0
     assert record["delta"]["logs_identical"] is True
+
+
+def test_e19_record_claims_hold():
+    """The committed E19 record must show plan-backed verification
+    beating the naive scan path, with agreeing verdicts and a sane
+    audited-stepping ratio (PR 4's acceptance criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e19.json").read_text())
+    assert record["plan_vs_naive_speedup"] > 1.0
+    assert record["offline"]["verdicts_agree"] is True
+    assert 0.0 < record["audited_vs_unaudited_ratio"] <= 1.5
+    assert record["audit"]["violations"] == 0
 
 
 # -- script entry point -------------------------------------------------------

@@ -7,7 +7,10 @@ Backed by a :class:`JsonlDirectoryStore`, a session's state outlives the
 serving process -- the byoda "data pod" shape: stop the service, start a new
 one over the same directory, and the conversation continues where it left
 off.  A :class:`ShardedPodService` serves the same API across N internal
-engines with stable hash routing.
+engines with stable hash routing, and an :class:`OnlineAuditor` attaches
+verified property specs to live pods (the final section below).
+
+See also the quickstart in the top-level README.md.
 
 Run with:  python examples/pod_service_tour.py
 """
@@ -15,13 +18,14 @@ Run with:  python examples/pod_service_tour.py
 import tempfile
 from pathlib import Path
 
-from repro.commerce.models import build_short, default_database
+from repro.commerce.models import build_buggy_store, build_short, default_database
 from repro.pods import (
     JsonlDirectoryStore,
     PodService,
     ShardedPodService,
     StepRequest,
 )
+from repro.verify.api import LogValidity, OnlineAuditor
 
 FIGURE1_FIRST_HALF = [
     {"order": {("time",)}},
@@ -117,6 +121,36 @@ def main() -> None:
         f"{snapshot['full_rule_evals']} full rule joins, "
         f"{snapshot['delta_rule_evals']} delta joins "
         f"(+{snapshot['delta_rules_skipped']} skipped as unchanged)"
+    )
+
+    # 8. Online audit: attach a verified property spec to a live pod.
+    #    Here a *drifting implementation* (the buggy store forgets the
+    #    payment check on deliver) serves traffic while the auditor
+    #    validates its log, step by step, against the verified SHORT
+    #    model -- the paper's audit notion made operational.
+    buggy = build_buggy_store()
+    auditor = OnlineAuditor([LogValidity()], reference=transducer)
+    audited = PodService(buggy, database, auditor=auditor)
+    mallory = audited.create_session("mallory")
+    print("\nonline audit (buggy store vs verified short reference):")
+    audited.submit(StepRequest(mallory, {"order": {("time",)}}))
+    audited.submit(StepRequest(mallory, {}))  # buggy delivers unpaid here
+    for finding in audited.audit_findings():
+        print(f"  step {finding.step}: {finding.violation}")
+        # The finding carries a machine-checkable trace: replaying its
+        # inputs through a fresh PodService reproduces the violating
+        # log exactly.
+        replayed = finding.trace.replay(buggy, database)
+        print(
+            f"  trace replay: {len(replayed.entries)} step(s), "
+            f"reproduces the violating log: "
+            f"{finding.trace.reproduces(buggy, database)}"
+        )
+    audit_snapshot = audited.metrics.snapshot()
+    print(
+        f"audit counters: {audit_snapshot['audited_steps']} steps audited, "
+        f"{audit_snapshot['audit_checks']} checks, "
+        f"{audit_snapshot['audit_violations']} violation(s)"
     )
 
 

@@ -14,19 +14,41 @@ subpackages hold the full API:
 
 from repro.core import RelationalTransducer, SpocusTransducer, parse_transducer
 from repro.verify import (
+    AllOf,
+    AnyOf,
+    ErrorFreeness,
     Goal,
+    GoalReachability,
+    LogValidity,
+    OnlineAuditor,
+    PropertySpec,
+    TemporalProperty,
+    Verdict,
+    Verifier,
     holds_on_all_runs,
     is_goal_reachable,
     is_valid_log,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RelationalTransducer",
     "SpocusTransducer",
     "parse_transducer",
     "Goal",
+    # typed verification surface (PR 4)
+    "PropertySpec",
+    "LogValidity",
+    "GoalReachability",
+    "TemporalProperty",
+    "ErrorFreeness",
+    "AllOf",
+    "AnyOf",
+    "Verifier",
+    "Verdict",
+    "OnlineAuditor",
+    # deprecated seed-era entry points
     "is_valid_log",
     "is_goal_reachable",
     "holds_on_all_runs",

@@ -26,14 +26,18 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import PlanError, SchemaError, SpocusViolation
+from repro.errors import SchemaError, SpocusViolation
 from repro.core.schema import TransducerSchema
 from repro.core.transducer import RelationalTransducer
 from repro.datalog.ast import Program, Rule
 from repro.datalog import evaluate as _evaluate
 from repro.datalog.evaluate import evaluate_program
 from repro.datalog.parser import parse_program
-from repro.datalog.plan import PhysicalPlan, compile_cached
+from repro.datalog.plan import (
+    PhysicalPlan,
+    compile_cached,
+    incremental_executor_for,
+)
 from repro.datalog.safety import check_rule_safety
 from repro.errors import SafetyError
 from repro.relalg.indexes import FactStore
@@ -43,6 +47,29 @@ from repro.relalg.schema import DatabaseSchema, RelationSchema
 PAST_PREFIX = "past-"
 
 
+def stage_store(
+    transducer: RelationalTransducer,
+    database: Instance,
+    *instances: Instance,
+) -> FactStore:
+    """A per-stage fact store layering ``instances`` over the database.
+
+    Each instance contributes its relations as small in-memory facts on
+    top of the transducer's shared (cached, hash-indexed) store for
+    ``database``, so catalog indexes are built once per database rather
+    than once per stage.  The runtime layers (input, state) for rule
+    evaluation; the :mod:`repro.verify.api` monitors layer whatever view
+    of a stage their property program reads (outputs and state for
+    T_past-input properties, inputs and prior state for Tsdi
+    disciplines).
+    """
+    local: dict[str, frozenset[tuple]] = {}
+    for instance in instances:
+        for name in instance.schema.names:
+            local[name] = instance[name]
+    return FactStore(local, base=transducer.database_store(database))
+
+
 def _step_store(
     transducer: RelationalTransducer,
     inputs: Instance,
@@ -50,12 +77,7 @@ def _step_store(
     database: Instance,
 ) -> FactStore:
     """Per-step fact store: input/state facts over the shared database."""
-    local: dict[str, frozenset[tuple]] = {}
-    for name in inputs.schema.names:
-        local[name] = inputs[name]
-    for name in state.schema.names:
-        local[name] = state[name]
-    return FactStore(local, base=transducer.database_store(database))
+    return stage_store(transducer, database, inputs, state)
 
 
 def past(name: str) -> str:
@@ -75,19 +97,11 @@ def _program_step_context(transducer: RelationalTransducer, program: Program):
     """
     if not transducer.incremental_stepping:
         return None
-    plan, hit = compile_cached(program)
-    try:
-        executor = plan.new_incremental(
-            volatile=transducer.schema.inputs.names,
-            monotone=transducer.schema.state.names,
-        )
-    except PlanError:
-        return None
-    if hit:
-        executor.counters.plan_cache_hits += 1
-    else:
-        executor.counters.plans_compiled += 1
-    return executor
+    return incremental_executor_for(
+        program,
+        volatile=transducer.schema.inputs.names,
+        monotone=transducer.schema.state.names,
+    )
 
 
 def _output_via_context(

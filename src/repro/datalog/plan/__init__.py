@@ -26,6 +26,7 @@ from repro.datalog.plan.planner import (
     compile_program,
     cost_order,
     greedy_order,
+    incremental_executor_for,
     plan_cache_info,
 )
 from repro.datalog.plan.physical import (
@@ -53,6 +54,7 @@ __all__ = [
     "cost_order",
     "compile_program",
     "compile_cached",
+    "incremental_executor_for",
     "plan_cache_info",
     "clear_plan_cache",
     "PhysicalPlan",

@@ -30,7 +30,7 @@ from repro.datalog.plan.cost import CostModel
 from repro.datalog.plan.logical import AtomNode, LogicalPlan
 
 if TYPE_CHECKING:
-    from repro.datalog.plan.physical import PhysicalPlan
+    from repro.datalog.plan.physical import IncrementalExecutor, PhysicalPlan
     from repro.relalg.indexes import FactStore
 
 ORDERING_COST = "cost"
@@ -173,6 +173,38 @@ def compile_program(
     """The shared compiled plan of ``program`` (cached per ordering)."""
     plan, _hit = compile_cached(program, ordering)
     return plan
+
+
+def incremental_executor_for(
+    program: Program,
+    *,
+    volatile: "Sequence[str] | frozenset[str]",
+    monotone: "Sequence[str] | frozenset[str]",
+    ordering: str = ORDERING_COST,
+) -> "IncrementalExecutor | None":
+    """A delta-capable executor over the shared cached plan, or ``None``.
+
+    The one-stop compilation path for cross-step incremental stepping:
+    compiles (or reuses) the process-wide plan for ``program``, attempts
+    to build an :class:`~repro.datalog.plan.physical.IncrementalExecutor`
+    with the given volatile/monotone predicate classification, and
+    charges the compile-vs-hit outcome to the executor's counters.
+    Programs outside the incremental scope (non-flat) return ``None`` so
+    callers can fall back to full per-step evaluation.  Used both by the
+    transducer runtime (per-session output stepping) and by the
+    verification monitors of :mod:`repro.verify.api` (delta-checkable
+    property programs).
+    """
+    plan, hit = compile_cached(program, ordering)
+    try:
+        executor = plan.new_incremental(volatile=volatile, monotone=monotone)
+    except PlanError:
+        return None
+    if hit:
+        executor.counters.plan_cache_hits += 1
+    else:
+        executor.counters.plans_compiled += 1
+    return executor
 
 
 def plan_cache_info() -> dict[str, int]:

@@ -103,6 +103,31 @@ class VerificationError(ReproError):
     """A verification procedure was applied outside its decidable scope."""
 
 
+class SpecError(VerificationError):
+    """A property specification is malformed or used outside its mode.
+
+    Raised by :mod:`repro.verify.api` when a :class:`PropertySpec` is
+    built from the wrong pieces (e.g. a non-T_past-input formula) or
+    checked in a mode it does not support (e.g. an offline
+    ``LogValidity`` check without a log).
+    """
+
+
+class AuditViolation(VerificationError):
+    """A live pod violated an attached property specification.
+
+    Raised by a strict :class:`~repro.verify.api.OnlineAuditor` from
+    inside :meth:`~repro.pods.service.PodService.submit` *after* the
+    step has been applied and persisted; ``findings`` carries the
+    :class:`~repro.verify.api.AuditFinding` objects of the violating
+    step, each with a replayable counterexample trace.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 class UndecidableError(VerificationError):
     """The exact question posed is undecidable in general.
 

@@ -17,8 +17,15 @@ package is that runtime's service layer:
 * :mod:`repro.pods.service` -- :class:`PodService` (one engine) and
   :class:`ShardedPodService` (N engines behind stable hash routing),
   both funneling all traffic through ``submit()`` / ``submit_batch()``;
-* :mod:`repro.pods.metrics` -- :class:`RuntimeMetrics` throughput and
-  latency counters, mergeable across shards.
+* :mod:`repro.pods.metrics` -- :class:`RuntimeMetrics` throughput,
+  latency, and audit counters, mergeable across shards.
+
+Every step applied through ``submit()`` can additionally be checked by
+an attached :class:`~repro.verify.api.OnlineAuditor` (``auditor=`` on
+:class:`PodService`, ``auditor_factory=`` on
+:class:`ShardedPodService`): property specs are compiled to per-session
+incremental monitors, violations become replayable audit findings, and
+the audit counters merge into :class:`RuntimeMetrics`.
 
 Sessions are isolated by construction: the only shared objects are the
 read-only indexed database and the per-shard metrics.  Stepping

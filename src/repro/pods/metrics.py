@@ -47,6 +47,9 @@ class RuntimeMetrics:
     delta_rule_evals: int = 0
     delta_rules_skipped: int = 0
     static_cache_hits: int = 0
+    audited_steps: int = 0
+    audit_checks: int = 0
+    audit_violations: int = 0
     started_at: float = field(default_factory=time.perf_counter)
 
     def record_session(self) -> None:
@@ -75,6 +78,21 @@ class RuntimeMetrics:
         self.delta_rules_skipped += counters.delta_rules_skipped
         self.static_cache_hits += counters.static_cache_hits
 
+    def record_audit(self, outcome) -> None:
+        """Fold one audited step's outcome in.
+
+        ``outcome`` is an :class:`~repro.verify.api.auditor.AuditOutcome`
+        (duck-typed to keep :mod:`repro.pods` import-free of the verify
+        layer): spec checks and violations count into the audit
+        counters, and the monitors' plan/evaluation work folds into the
+        same ``plans_*`` / ``*_rule_evals`` counters as session
+        stepping -- audit joins are ordinary plan executions.
+        """
+        self.audited_steps += 1
+        self.audit_checks += outcome.checks
+        self.audit_violations += len(outcome.findings)
+        self.record_eval(outcome.eval_delta)
+
     # -- aggregation -----------------------------------------------------------
 
     @classmethod
@@ -96,6 +114,9 @@ class RuntimeMetrics:
             total.delta_rule_evals += p.delta_rule_evals
             total.delta_rules_skipped += p.delta_rules_skipped
             total.static_cache_hits += p.static_cache_hits
+            total.audited_steps += p.audited_steps
+            total.audit_checks += p.audit_checks
+            total.audit_violations += p.audit_violations
             if p.step_seconds_min < total.step_seconds_min:
                 total.step_seconds_min = p.step_seconds_min
             if p.step_seconds_max > total.step_seconds_max:
@@ -143,4 +164,7 @@ class RuntimeMetrics:
             "delta_rule_evals": self.delta_rule_evals,
             "delta_rules_skipped": self.delta_rules_skipped,
             "static_cache_hits": self.static_cache_hits,
+            "audited_steps": self.audited_steps,
+            "audit_checks": self.audit_checks,
+            "audit_violations": self.audit_violations,
         }

@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import time
 import zlib
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.verify.api.auditor import OnlineAuditor
 
 from repro.core.transducer import InputLike, RelationalTransducer
-from repro.errors import SessionError, ShardError
+from repro.errors import AuditViolation, SessionError, ShardError
 from repro.pods.api import (
     SessionHandle,
     SessionSnapshot,
@@ -168,6 +171,7 @@ class PodService(_PodApi):
         keep_logs: bool = True,
         shard_index: int = 0,
         id_prefix: str = "pod",
+        auditor: "OnlineAuditor | None" = None,
     ) -> None:
         self._transducer = transducer
         self._database = transducer.coerce_database(database)
@@ -181,6 +185,12 @@ class PodService(_PodApi):
         self._sessions: dict[str, Session] = {}
         self._next_id = 0
         self.metrics = RuntimeMetrics()
+        # Online auditing (repro.verify.api.OnlineAuditor): every step
+        # applied through submit() is checked against the attached
+        # property specs; see the audit block in submit().
+        self._auditor = auditor
+        if auditor is not None:
+            auditor.bind(transducer, self._database)
 
     # -- session lifecycle -----------------------------------------------------
 
@@ -195,6 +205,18 @@ class PodService(_PodApi):
     @property
     def shard_index(self) -> int:
         return self._shard_index
+
+    @property
+    def auditor(self) -> "OnlineAuditor | None":
+        return self._auditor
+
+    def audit_findings(self, session: "SessionHandle | str | None" = None):
+        """Recorded audit findings (empty without an attached auditor)."""
+        if self._auditor is None:
+            return []
+        return self._auditor.findings(
+            session_id_of(session) if session is not None else None
+        )
 
     def create_session(self, session_id: str | None = None) -> SessionHandle:
         """Open a new session; returns its handle.
@@ -222,6 +244,8 @@ class PodService(_PodApi):
         )
         self._sessions[session_id] = session
         self._store.record_created(session_id)
+        if self._auditor is not None:
+            self._auditor.register_session(session_id)
         self.metrics.record_session()
         # Plan compile/reuse happened while building the session's
         # step context; later submit() calls record only their delta.
@@ -278,6 +302,20 @@ class PodService(_PodApi):
             raise SessionError(f"no such session: {session_id!r}")
         restored = self._restore(snapshot)
         self._sessions[session_id] = restored
+        if self._auditor is not None:
+            # The auditor gets the *stored* log prefix even when this
+            # service runs with keep_logs=False: the prefix is the
+            # resume point of every future finding's replay trace.
+            schema = self._transducer.schema
+            self._auditor.register_session(
+                session_id,
+                steps=snapshot.steps,
+                log=tuple(
+                    Instance(schema.log_schema, dict(entry))
+                    for entry in snapshot.log_facts
+                ),
+                state=restored.state,
+            )
         self.metrics.record_resume()
         self.metrics.record_eval(restored.eval_counters())
         return restored
@@ -303,6 +341,8 @@ class PodService(_PodApi):
         session_id = session_id_of(session)
         del self._sessions[session_id]
         self._store.record_closed(session_id)
+        if self._auditor is not None:
+            self._auditor.forget_session(session_id)
         self.metrics.record_close()
         return live.log()
 
@@ -318,6 +358,7 @@ class PodService(_PodApi):
         """
         session = self.session(request.session)
         before = session.eval_counters()
+        state_before = session.state
         started = time.perf_counter()
         output = session.step(request.inputs)
         elapsed = time.perf_counter() - started
@@ -329,12 +370,34 @@ class PodService(_PodApi):
             session.state,
             session.last_log_entry if self._keep_logs else None,
         )
-        return StepResult(
+        result = StepResult(
             session=SessionHandle(session.session_id, self._shard_index),
             step=session.steps,
             output=output,
             latency_seconds=elapsed,
         )
+        if self._auditor is not None:
+            # The audit runs after the step is applied and persisted:
+            # an audit is a judgment on what happened, not admission
+            # control, so even a strict auditor never leaves the store
+            # and the session disagreeing about the step count.
+            outcome = self._auditor.observe_step(
+                session.session_id,
+                step=session.steps,
+                inputs=session.last_inputs,
+                output=output,
+                state_before=state_before,
+                state_after=session.state,
+                log_entry=session.last_log_entry if self._keep_logs else None,
+            )
+            self.metrics.record_audit(outcome)
+            if self._auditor.strict and outcome.findings:
+                raise AuditViolation(
+                    f"session {session.session_id!r} step {session.steps}: "
+                    + "; ".join(f.violation for f in outcome.findings),
+                    findings=outcome.findings,
+                )
+        return result
 
     def logs(self) -> list[SessionLog]:
         """Logs of all live sessions, ordered by session id."""
@@ -365,6 +428,7 @@ class ShardedPodService(_PodApi):
         keep_logs: bool = True,
         store_factory: "Callable[[int], SessionStore | str | None] | None" = None,
         id_prefix: str = "pod",
+        auditor_factory: "Callable[[int], OnlineAuditor | None] | None" = None,
     ) -> None:
         if shards < 1:
             raise ShardError(f"shard count must be >= 1, got {shards}")
@@ -379,6 +443,7 @@ class ShardedPodService(_PodApi):
                 keep_logs=keep_logs,
                 shard_index=index,
                 id_prefix=id_prefix,
+                auditor=auditor_factory(index) if auditor_factory else None,
             )
             for index in range(shards)
         ]
@@ -459,6 +524,15 @@ class ShardedPodService(_PodApi):
         for shard in self._shards:
             collected.extend(shard.logs())
         return sorted(collected, key=lambda log: str(log.session_id))
+
+    def audit_findings(self, session: "SessionHandle | str | None" = None):
+        """Audit findings across all shards, (session, step)-ordered."""
+        if session is not None:
+            return self._route(session).audit_findings(session)
+        collected = []
+        for shard in self._shards:
+            collected.extend(shard.audit_findings())
+        return sorted(collected, key=lambda f: (f.session_id, f.step))
 
     # -- metrics ---------------------------------------------------------------
 

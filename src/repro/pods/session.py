@@ -51,7 +51,7 @@ class Session:
     """
 
     __slots__ = ("session_id", "_transducer", "_database", "_state",
-                 "_steps", "_log", "_keep_log", "_ctx")
+                 "_steps", "_log", "_keep_log", "_ctx", "_last_inputs")
 
     def __init__(
         self,
@@ -76,6 +76,7 @@ class Session:
         # supports it.  Restored sessions get a fresh context; its first
         # step simply pays one full evaluation.
         self._ctx = transducer.new_step_context(database)
+        self._last_inputs: Instance | None = None
 
     @property
     def state(self) -> Instance:
@@ -90,10 +91,22 @@ class Session:
         """The most recent log entry (None when empty or logging off)."""
         return self._log[-1] if self._log else None
 
+    @property
+    def last_inputs(self) -> Instance | None:
+        """The (coerced) input instance of the most recent step.
+
+        Consumed by the audit hook in ``PodService.submit()`` so
+        monitors see exactly the instance the step evaluated, without
+        re-coercing the caller's raw facts.  None before the first step
+        of this process's lifetime (restored sessions included).
+        """
+        return self._last_inputs
+
     def step(self, inputs: InputLike) -> Instance:
         """Consume one input instance; return the step's output."""
         transducer = self._transducer
         current = transducer.coerce_input(inputs)
+        self._last_inputs = current
         output = transducer.output_with_context(
             self._ctx, current, self._state, self._database
         )

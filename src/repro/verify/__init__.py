@@ -3,8 +3,11 @@
 Every decidable question in the paper reduces to finite satisfiability
 of a Bernays-Schoenfinkel sentence over a schema that replicates the
 input relations once per run step.  :mod:`repro.verify.encoder` holds
-that shared reduction; the sibling modules implement the individual
-decision procedures:
+that shared reduction; since PR 4 the public surface is the typed
+:mod:`repro.verify.api` (``PropertySpec`` -> ``Verifier`` ->
+``Verdict`` with replayable ``CounterexampleTrace`` evidence, plus the
+``OnlineAuditor`` for live pods), and the sibling modules are its
+engine backends:
 
 * :mod:`repro.verify.logvalidity` -- Theorem 3.1 (log validation);
 * :mod:`repro.verify.reachability` -- Theorem 3.2 (goal reachability
@@ -18,26 +21,90 @@ decision procedures:
   disciplines into error rules);
 * :mod:`repro.verify.undecidable` -- the reductions of Proposition 3.1
   and Theorem 3.4 (executable undecidability constructions).
+
+The seed-era module-level entry points (``is_valid_log``,
+``is_goal_reachable``, ``holds_on_all_runs``, ``log_contains``,
+``are_log_equivalent``, ``pointwise_log_equal``,
+``holds_on_error_free_runs``, ``errorfree_contains``) keep working but
+emit one :class:`DeprecationWarning` per process; new code should go
+through :class:`repro.verify.api.Verifier`.
 """
 
+from repro.verify.api import (
+    AllOf,
+    AnyOf,
+    AuditFinding,
+    CounterexampleTrace,
+    ErrorFreeness,
+    GoalReachability,
+    LogValidity,
+    OnlineAuditor,
+    PropertySpec,
+    TemporalProperty,
+    Verdict,
+    Verifier,
+)
 from repro.verify.encoder import RunEncoder, decode_input_sequence
-from repro.verify.logvalidity import LogValidityResult, is_valid_log
-from repro.verify.reachability import Goal, ReachabilityResult, is_goal_reachable
-from repro.verify.temporal import TemporalVerdict, holds_on_all_runs
+from repro.verify.logvalidity import (
+    LogValidityResult,
+    check_log_validity,
+    is_valid_log,
+)
+from repro.verify.reachability import (
+    Goal,
+    ReachabilityResult,
+    check_goal_reachability,
+    is_goal_reachable,
+)
+from repro.verify.temporal import (
+    TemporalVerdict,
+    check_temporal_property,
+    holds_on_all_runs,
+)
 from repro.verify.containment import (
     ContainmentVerdict,
     are_log_equivalent,
+    check_log_containment,
+    check_log_equivalence,
+    check_pointwise_log_equality,
     log_contains,
+    pointwise_log_equal,
 )
 from repro.verify.errorfree import (
+    check_error_free_containment,
+    check_error_free_property,
     errorfree_contains,
     holds_on_error_free_runs,
 )
 from repro.verify.tsdi import TsdiConjunct, TsdiSentence, compile_tsdi, enforce_tsdi, satisfies_tsdi
 
 __all__ = [
+    # typed API (PR 4)
+    "PropertySpec",
+    "LogValidity",
+    "GoalReachability",
+    "TemporalProperty",
+    "ErrorFreeness",
+    "AllOf",
+    "AnyOf",
+    "Verifier",
+    "Verdict",
+    "CounterexampleTrace",
+    "OnlineAuditor",
+    "AuditFinding",
+    # engine backends
+    "check_log_validity",
+    "check_goal_reachability",
+    "check_temporal_property",
+    "check_log_containment",
+    "check_log_equivalence",
+    "check_pointwise_log_equality",
+    "check_error_free_property",
+    "check_error_free_containment",
+    # shared encoding
     "RunEncoder",
     "decode_input_sequence",
+    # deprecated seed-era entry points
     "is_valid_log",
     "LogValidityResult",
     "Goal",
@@ -47,6 +114,7 @@ __all__ = [
     "TemporalVerdict",
     "log_contains",
     "are_log_equivalent",
+    "pointwise_log_equal",
     "ContainmentVerdict",
     "holds_on_error_free_runs",
     "errorfree_contains",

@@ -1,0 +1,197 @@
+"""Machine-checkable counterexample traces.
+
+A :class:`CounterexampleTrace` is the evidence part of a
+:class:`~repro.verify.api.verifier.Verdict`: a concrete input sequence
+(plus, in unknown-database mode, a witness database) whose replay
+through a fresh :class:`~repro.pods.service.PodService` deterministically
+reproduces the recorded log.  Traces are pure data -- plain fact
+dictionaries, no live objects -- so they can be logged, serialized, and
+re-checked in a different process against a freshly constructed
+transducer.
+
+The determinism guarantee is the run semantics of Section 2.2: a
+transducer step is a function of (input, state, database), so replaying
+the same inputs over the same database always rebuilds the same log,
+whether through :meth:`RelationalTransducer.run` or step by step through
+``PodService.submit()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.errors import SpecError
+
+if TYPE_CHECKING:
+    from repro.core.transducer import RelationalTransducer
+    from repro.pods.session import SessionLog
+    from repro.relalg.instance import Instance
+
+Facts = Mapping[str, frozenset[tuple]]
+
+KIND_COUNTEREXAMPLE = "counterexample"
+KIND_WITNESS = "witness"
+
+
+def facts_of_instance(instance: "Instance") -> dict[str, frozenset[tuple]]:
+    """An instance's relations as a plain, order-independent dict."""
+    from repro.pods.api import facts_of
+
+    return facts_of(instance)
+
+
+def facts_sequence(instances: Sequence["Instance"]) -> tuple[dict, ...]:
+    return tuple(facts_of_instance(instance) for instance in instances)
+
+
+@dataclass(frozen=True)
+class CounterexampleTrace:
+    """A replayable (counter)example run of a transducer.
+
+    ``inputs`` holds one facts-dict per step; ``log`` is the log the
+    replay of those inputs must reproduce -- for a failing verdict the
+    violating log, for a passing one (e.g. a valid-log witness or a
+    reachability witness) the supporting log.  ``database`` is only set
+    when the check ran in unknown-database mode and the trace is only
+    meaningful over that witness database.  ``step`` is the 1-based run
+    position where the violation manifests (None when the violation is
+    not tied to a single step), and ``violation`` says what went wrong
+    in words.
+    """
+
+    kind: str
+    inputs: tuple[Facts, ...]
+    log: tuple[Facts, ...]
+    database: Facts | None = None
+    step: int | None = None
+    violation: str = ""
+    property_name: str = field(default="", compare=False)
+    # A trace recorded from a *resumed* session cannot list the inputs
+    # of its pre-restart steps; instead it carries the resume point:
+    # the cumulative state after ``resume_steps`` steps plus those
+    # steps' log entries (``log[:resume_steps]``).  ``replay`` then
+    # seeds a store snapshot and resumes, exactly as the service did.
+    resume_steps: int = 0
+    resume_state: Facts | None = None
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __post_init__(self) -> None:
+        if self.resume_steps:
+            if self.resume_state is None:
+                raise SpecError(
+                    "a resumed trace needs the resume-point state"
+                )
+            if len(self.log) < self.resume_steps:
+                raise SpecError(
+                    "a resumed trace must include the pre-resume log "
+                    f"entries (have {len(self.log)}, resume at step "
+                    f"{self.resume_steps + 1})"
+                )
+
+    # -- replay ----------------------------------------------------------------
+
+    def _database_for(self, database) -> object:
+        if database is not None:
+            return database
+        if self.database is not None:
+            return {name: set(rows) for name, rows in self.database.items()}
+        return {}
+
+    def input_instances(
+        self, transducer: "RelationalTransducer"
+    ) -> list["Instance"]:
+        """The trace's input sequence coerced against a transducer."""
+        return [transducer.coerce_input(dict(step)) for step in self.inputs]
+
+    def replay(
+        self,
+        transducer: "RelationalTransducer",
+        database=None,
+        *,
+        session_id: str = "replay",
+    ) -> "SessionLog":
+        """Re-run the trace through a fresh :class:`PodService`.
+
+        Every input is submitted as a
+        :class:`~repro.pods.api.StepRequest` through the service's
+        single ``submit()`` path -- the same choke point live traffic
+        uses -- and the session's log is returned.  ``database``
+        defaults to the trace's witness database (unknown-database
+        checks) or the empty instance.
+        """
+        from repro.pods.api import SessionSnapshot, StepRequest
+        from repro.pods.service import PodService
+        from repro.pods.store import InMemoryStore
+
+        store = InMemoryStore()
+        if self.resume_steps:
+            store.import_snapshot(
+                SessionSnapshot(
+                    session_id=session_id,
+                    steps=self.resume_steps,
+                    state_facts={
+                        name: frozenset(rows)
+                        for name, rows in (self.resume_state or {}).items()
+                    },
+                    log_facts=tuple(
+                        {name: frozenset(rows) for name, rows in entry.items()}
+                        for entry in self.log[: self.resume_steps]
+                    ),
+                )
+            )
+        service = PodService(
+            transducer, self._database_for(database), store=store,
+            keep_logs=True,
+        )
+        handle = session_id if self.resume_steps else (
+            service.create_session(session_id)
+        )
+        for step_inputs in self.inputs:
+            service.submit(StepRequest(handle, dict(step_inputs)))
+        return service.session(handle).log()
+
+    def reproduces(
+        self, transducer: "RelationalTransducer", database=None
+    ) -> bool:
+        """Does the replay rebuild exactly the recorded log?"""
+        replayed = self.replay(transducer, database)
+        recorded = tuple(
+            {name: frozenset(rows) for name, rows in entry.items()}
+            for entry in self.log
+        )
+        return facts_sequence(replayed.entries) == recorded
+
+    def require_reproduces(
+        self, transducer: "RelationalTransducer", database=None
+    ) -> None:
+        """Raise :class:`SpecError` unless the replay matches the log."""
+        if not self.reproduces(transducer, database):
+            raise SpecError(
+                "counterexample trace does not reproduce its recorded log "
+                "(was it replayed against the right transducer/database?)"
+            )
+
+
+def trace_from_run(
+    kind: str,
+    inputs: Sequence["Instance"],
+    log: Sequence["Instance"],
+    *,
+    database: "Instance | None" = None,
+    step: int | None = None,
+    violation: str = "",
+    property_name: str = "",
+) -> CounterexampleTrace:
+    """Build a trace from live instances (normalizing to plain facts)."""
+    return CounterexampleTrace(
+        kind=kind,
+        inputs=facts_sequence(inputs),
+        log=facts_sequence(log),
+        database=facts_of_instance(database) if database is not None else None,
+        step=step,
+        violation=violation,
+        property_name=property_name,
+    )

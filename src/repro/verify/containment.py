@@ -31,6 +31,7 @@ from repro.logic.bsr import GroundingStats, decide_bsr
 from repro.logic.fol import Formula, Not, conjoin, disjoin
 from repro.logic.fol import exists as fol_exists
 from repro.relalg.instance import Instance
+from repro.verify.deprecation import warn_legacy
 from repro.verify.encoder import RunEncoder, decode_input_sequence
 
 
@@ -166,6 +167,17 @@ def log_contains(
     database: dict | Instance | None = None,
     replay: bool = True,
 ) -> ContainmentVerdict:
+    """Deprecated seed-era entry point; see :func:`check_log_containment`."""
+    warn_legacy("log_contains", "Verifier.check_containment")
+    return check_log_containment(bigger, smaller, database, replay=replay)
+
+
+def check_log_containment(
+    bigger: SpocusTransducer,
+    smaller: SpocusTransducer,
+    database: dict | Instance | None = None,
+    replay: bool = True,
+) -> ContainmentVerdict:
     """Decide T₁ ⊒ T₂ under the Theorem 3.5 hypotheses.
 
     ``bigger`` plays T₁ (the original model), ``smaller`` plays T₂ (the
@@ -225,14 +237,34 @@ def are_log_equivalent(
     second: SpocusTransducer,
     database: dict | Instance | None = None,
 ) -> bool:
+    """Deprecated seed-era entry point; see :func:`check_log_equivalence`."""
+    warn_legacy("are_log_equivalent", "Verifier.check_containment")
+    return check_log_equivalence(first, second, database)
+
+
+def check_log_equivalence(
+    first: SpocusTransducer,
+    second: SpocusTransducer,
+    database: dict | Instance | None = None,
+) -> bool:
     """Corollary 3.6: log equivalence over the same schema with full log."""
     return (
-        log_contains(first, second, database).contained
-        and log_contains(second, first, database).contained
+        check_log_containment(first, second, database).contained
+        and check_log_containment(second, first, database).contained
     )
 
 
 def pointwise_log_equal(
+    base: SpocusTransducer,
+    extension: SpocusTransducer,
+    database: dict | Instance | None = None,
+) -> ContainmentVerdict:
+    """Deprecated entry point; see :func:`check_pointwise_log_equality`."""
+    warn_legacy("pointwise_log_equal", "Verifier.check_containment")
+    return check_pointwise_log_equality(base, extension, database)
+
+
+def check_pointwise_log_equality(
     base: SpocusTransducer,
     extension: SpocusTransducer,
     database: dict | Instance | None = None,

@@ -1,0 +1,36 @@
+"""Shared deprecation shim for the seed-era verify entry points.
+
+The PR 4 redesign moved verification behind the typed
+:class:`~repro.verify.api.Verifier` facade; the original module-level
+functions (``is_valid_log``, ``is_goal_reachable``, ``holds_on_all_runs``,
+``log_contains``, ...) remain as thin wrappers over the same engines but
+emit a :class:`DeprecationWarning` -- exactly once per process across
+*all* of them, mirroring the :class:`~repro.runtime.MultiSessionEngine`
+shim convention, so a long-running service is not spammed.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_deprecation_warned = False
+
+
+def warn_legacy(entry_point: str, replacement: str) -> None:
+    """Emit the one-per-process legacy-verify DeprecationWarning.
+
+    ``entry_point`` is the legacy function the caller invoked;
+    ``replacement`` names the :mod:`repro.verify.api` surface to use
+    instead.  The first legacy call warns; later calls (to any legacy
+    entry point) stay silent.
+    """
+    global _deprecation_warned
+    if _deprecation_warned:
+        return
+    _deprecation_warned = True
+    warnings.warn(
+        f"{entry_point} is deprecated; use repro.verify.api.{replacement} "
+        "(Verifier.check over typed PropertySpecs) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

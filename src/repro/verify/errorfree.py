@@ -28,7 +28,12 @@ from repro.logic.fol import Formula, Not, Rel, conjoin
 from repro.logic.fol import exists as fol_exists
 from repro.logic.fol import forall as fol_forall
 from repro.relalg.instance import Instance
-from repro.verify.encoder import RunEncoder, decode_input_sequence
+from repro.verify.deprecation import warn_legacy
+from repro.verify.encoder import (
+    RunEncoder,
+    decode_database,
+    decode_input_sequence,
+)
 from repro.verify.tsdi import TsdiConjunct, TsdiSentence, _cnf_clauses
 
 ERROR_RELATION = "error"
@@ -70,9 +75,23 @@ class ErrorFreeVerdict:
     counterexample_inputs: list[Instance] | None = None
     violated_conjunct: TsdiConjunct | None = None
     stats: GroundingStats = field(default_factory=GroundingStats)
+    counterexample_database: Instance | None = None
 
 
 def holds_on_error_free_runs(
+    transducer: SpocusTransducer,
+    sentence: TsdiSentence,
+    database: dict | Instance | None = None,
+    error_relation: str = ERROR_RELATION,
+) -> ErrorFreeVerdict:
+    """Deprecated entry point; see :func:`check_error_free_property`."""
+    warn_legacy("holds_on_error_free_runs", "ErrorFreeness")
+    return check_error_free_property(
+        transducer, sentence, database, error_relation=error_relation
+    )
+
+
+def check_error_free_property(
     transducer: SpocusTransducer,
     sentence: TsdiSentence,
     database: dict | Instance | None = None,
@@ -82,6 +101,10 @@ def holds_on_error_free_runs(
 
     Requires the transducer's error rules to use only positive state
     literals; otherwise :class:`UndecidableError` is raised.
+
+    This is the engine behind the :class:`repro.verify.api.ErrorFreeness`
+    spec; prefer checking specs through a
+    :class:`~repro.verify.api.Verifier`.
     """
     _check_positive_state_errors(transducer, error_relation)
     db_instance: Instance | None = None
@@ -149,6 +172,11 @@ def _check_conjunct_clause(
         counterexample_inputs=witness,
         violated_conjunct=conjunct,
         stats=result.stats,
+        counterexample_database=(
+            decode_database(transducer, result.model)
+            if db_instance is None
+            else None
+        ),
     )
 
 
@@ -169,6 +197,19 @@ class ErrorFreeContainment:
 
 
 def errorfree_contains(
+    first: SpocusTransducer,
+    second: SpocusTransducer,
+    database: dict | Instance | None = None,
+    error_relation: str = ERROR_RELATION,
+) -> ErrorFreeContainment:
+    """Deprecated entry point; see :func:`check_error_free_containment`."""
+    warn_legacy("errorfree_contains", "Verifier.check_containment")
+    return check_error_free_containment(
+        first, second, database, error_relation=error_relation
+    )
+
+
+def check_error_free_containment(
     first: SpocusTransducer,
     second: SpocusTransducer,
     database: dict | Instance | None = None,

@@ -24,6 +24,7 @@ from repro.errors import VerificationError
 from repro.logic.bsr import GroundingStats, decide_bsr
 from repro.logic.fol import conjoin
 from repro.relalg.instance import Instance
+from repro.verify.deprecation import warn_legacy
 from repro.verify.encoder import (
     RunEncoder,
     decode_database,
@@ -69,11 +70,27 @@ def is_valid_log(
     log: LogLike,
     replay: bool = True,
 ) -> LogValidityResult:
+    """Deprecated seed-era entry point; see :func:`check_log_validity`."""
+    warn_legacy("is_valid_log", "LogValidity")
+    return check_log_validity(transducer, database, log, replay=replay)
+
+
+def check_log_validity(
+    transducer: SpocusTransducer,
+    database: dict | Instance | None,
+    log: LogLike,
+    replay: bool = True,
+) -> LogValidityResult:
     """Decide whether ``log`` is a valid log of ``transducer`` on ``database``.
 
     Pass ``database=None`` for the unknown-database variant mentioned
     after Theorem 3.1: decide whether *some* database makes the log
     valid (the witness database is then extracted from the model).
+
+    This is the engine behind the :class:`repro.verify.api.LogValidity`
+    spec; prefer checking specs through a
+    :class:`~repro.verify.api.Verifier`, which adds typed verdicts and
+    replayable counterexample traces.
     """
     entries = _coerce_log(transducer, log)
     if not entries:

@@ -28,6 +28,7 @@ from repro.logic.bsr import GroundingStats, decide_bsr
 from repro.logic.fol import Formula, Not, conjoin
 from repro.logic.fol import exists as fol_exists
 from repro.relalg.instance import Instance
+from repro.verify.deprecation import warn_legacy
 from repro.verify.encoder import RunEncoder, decode_input_sequence
 
 
@@ -85,11 +86,29 @@ def is_goal_reachable(
     prefix: Sequence[dict | Instance] = (),
     replay: bool = True,
 ) -> ReachabilityResult:
+    """Deprecated seed-era entry point; see :func:`check_goal_reachability`."""
+    warn_legacy("is_goal_reachable", "GoalReachability")
+    return check_goal_reachability(
+        transducer, database, goal, prefix=prefix, replay=replay
+    )
+
+
+def check_goal_reachability(
+    transducer: SpocusTransducer,
+    database: dict | Instance,
+    goal: Goal,
+    prefix: Sequence[dict | Instance] = (),
+    replay: bool = True,
+) -> ReachabilityResult:
     """Decide whether ``goal`` is reachable, optionally after ``prefix``.
 
     With a non-empty prefix this answers the paper's *progress*
     question: can the goal still be attained from the state the prefix
     has reached?
+
+    This is the engine behind the
+    :class:`repro.verify.api.GoalReachability` spec; prefer checking
+    specs through a :class:`~repro.verify.api.Verifier`.
     """
     db = transducer.coerce_database(database)
     encoder = RunEncoder(transducer, 2)

@@ -42,7 +42,12 @@ from repro.logic.fol import (
 )
 from repro.logic.prenex import to_nnf
 from repro.relalg.instance import Instance
-from repro.verify.encoder import RunEncoder, decode_input_sequence
+from repro.verify.deprecation import warn_legacy
+from repro.verify.encoder import (
+    RunEncoder,
+    decode_database,
+    decode_input_sequence,
+)
 
 
 def _translate(formula: Formula, encoder: RunEncoder, step: int) -> Formula:
@@ -114,9 +119,23 @@ class TemporalVerdict:
     holds: bool
     counterexample_inputs: list[Instance] | None = None
     stats: GroundingStats = field(default_factory=GroundingStats)
+    counterexample_database: Instance | None = None
 
 
 def holds_on_all_runs(
+    transducer: SpocusTransducer,
+    property_formula: Formula,
+    database: dict | Instance | None = None,
+    replay: bool = True,
+) -> TemporalVerdict:
+    """Deprecated seed-era entry point; see :func:`check_temporal_property`."""
+    warn_legacy("holds_on_all_runs", "TemporalProperty")
+    return check_temporal_property(
+        transducer, property_formula, database, replay=replay
+    )
+
+
+def check_temporal_property(
     transducer: SpocusTransducer,
     property_formula: Formula,
     database: dict | Instance | None = None,
@@ -127,7 +146,13 @@ def holds_on_all_runs(
     With ``database=None`` the property is checked over *all* databases
     (the relations are left uninterpreted), which is the stronger,
     schema-level guarantee; passing a concrete database restricts the
-    claim to that instance.
+    claim to that instance.  On failure in unknown-database mode, the
+    witness database making the counterexample run possible is decoded
+    into ``counterexample_database``.
+
+    This is the engine behind the
+    :class:`repro.verify.api.TemporalProperty` spec; prefer checking
+    specs through a :class:`~repro.verify.api.Verifier`.
     """
     encoder = RunEncoder(transducer, 2)
     violation = _translate(Not(property_formula), encoder, 2)
@@ -144,6 +169,9 @@ def holds_on_all_runs(
         return TemporalVerdict(True, stats=result.stats)
     assert result.model is not None
     witness = decode_input_sequence(transducer, 2, result.model)
+    witness_db = db_instance
+    if witness_db is None:
+        witness_db = decode_database(transducer, result.model)
     if replay and db_instance is not None:
         run = transducer.run(db_instance, witness)
         if check_run_satisfies(transducer, run, property_formula, db_instance):
@@ -151,7 +179,12 @@ def holds_on_all_runs(
                 "internal error: decoded counterexample does not violate "
                 "the property"
             )
-    return TemporalVerdict(False, witness, stats=result.stats)
+    return TemporalVerdict(
+        False,
+        witness,
+        stats=result.stats,
+        counterexample_database=witness_db if db_instance is None else None,
+    )
 
 
 def check_run_satisfies(
