@@ -1,0 +1,269 @@
+"""E20: concurrent submit_batch vs serial on the multi-session workload.
+
+Drives the E16 store-traffic shape (many independent customer sessions
+over one shared catalog) through ``submit_batch(requests,
+concurrency=N)``: the batch is grouped by session, each session's
+subsequence runs in order on one worker, and results come back in
+request order.  The record compares concurrent against serial
+throughput on a single :class:`~repro.pods.service.PodService` and
+sweeps a shards x workers grid on a
+:class:`~repro.pods.service.ShardedPodService`.
+
+Interpreting the ratio: stepping is pure Python joins, so on a
+GIL-enabled interpreter the worker pool adds safety, latency overlap,
+and fairness but no parallel speedup -- the honest expectation there is
+~1.0x (the guard below only rejects a collapse).  On a free-threaded
+(PEP 703) build or with the shards split across processes, the same
+grouping scales with cores; the record stores ``gil_enabled`` and
+``cpu_count`` so the trajectory stays comparable across machines.
+
+Run as a script to emit the ``BENCH_e20.json`` perf record::
+
+    python benchmarks/bench_e20_concurrency.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.commerce.catalog import CatalogGenerator
+from repro.commerce.models import build_friendly
+from repro.commerce.workloads import SessionGenerator
+from repro.pods import PodService, ShardedPodService, StepRequest
+
+SEED = 7
+PRODUCTS = 1000
+STEPS_PER_SESSION = 8
+FULL_SESSIONS = 1000
+CONCURRENCY = 4
+GRID_SHARDS = (1, 4)
+GRID_WORKERS = (1, 2, 4, 8)
+
+
+def build_workload(sessions: int, products: int, steps: int):
+    """(catalog, scripts): the seeded per-session shopping scripts."""
+    catalog = CatalogGenerator(seed=1).generate(products)
+    scripts = {
+        f"customer-{n:06d}": SessionGenerator(
+            catalog, seed=SEED * 1_000_003 + n, supports_pending_bills=True
+        ).session(steps)
+        for n in range(sessions)
+    }
+    return catalog, scripts
+
+
+def interleaved_batch(scripts) -> list[StepRequest]:
+    """The round-robin request batch: step 1 of every session, then 2, ..."""
+    batch: list[StepRequest] = []
+    position = 0
+    ids = sorted(scripts)
+    while True:
+        emitted = False
+        for session_id in ids:
+            script = scripts[session_id]
+            if position < len(script):
+                batch.append(StepRequest(session_id, script[position]))
+                emitted = True
+        if not emitted:
+            return batch
+        position += 1
+
+
+def run_batch(service, scripts, batch, concurrency: int) -> dict:
+    """Create the sessions, step the whole batch; return measurements."""
+    for session_id in sorted(scripts):
+        service.create_session(session_id)
+    started = time.perf_counter()
+    results = service.submit_batch(batch, concurrency=concurrency)
+    elapsed = time.perf_counter() - started
+    assert len(results) == len(batch)
+    return {
+        "concurrency": concurrency,
+        "total_steps": len(results),
+        "elapsed_seconds": round(elapsed, 6),
+        "steps_per_second": round(len(results) / elapsed, 3),
+    }
+
+
+def measure_single(
+    sessions: int, products: int, steps: int, concurrency: int
+) -> dict:
+    transducer = build_friendly()
+    catalog, scripts = build_workload(sessions, products, steps)
+    batch = interleaved_batch(scripts)
+    service = PodService(transducer, catalog.as_database(), keep_logs=False)
+    return run_batch(service, scripts, batch, concurrency)
+
+
+def measure_sharded(
+    sessions: int,
+    products: int,
+    steps: int,
+    shards: int,
+    concurrency: int,
+) -> dict:
+    transducer = build_friendly()
+    catalog, scripts = build_workload(sessions, products, steps)
+    batch = interleaved_batch(scripts)
+    service = ShardedPodService(
+        transducer, catalog.as_database(), shards=shards, keep_logs=False
+    )
+    record = run_batch(service, scripts, batch, concurrency)
+    record["shards"] = shards
+    return record
+
+
+def run_experiment(
+    sessions: int = FULL_SESSIONS,
+    products: int = PRODUCTS,
+    steps: int = STEPS_PER_SESSION,
+    concurrency: int = CONCURRENCY,
+) -> dict:
+    """Serial-vs-concurrent plus the shards x workers grid."""
+    serial = measure_single(sessions, products, steps, concurrency=1)
+    concurrent = measure_single(sessions, products, steps, concurrency)
+    ratio = (
+        concurrent["steps_per_second"] / serial["steps_per_second"]
+    )
+    grid = [
+        measure_sharded(
+            max(sessions // 4, 1), products, steps, shards, workers
+        )
+        for shards in GRID_SHARDS
+        for workers in GRID_WORKERS
+    ]
+    gil_probe = getattr(sys, "_is_gil_enabled", None)
+    return {
+        "experiment": "e20_batch_concurrency",
+        "workload": {
+            "transducer": "friendly",
+            "catalog_products": products,
+            "sessions": sessions,
+            "steps_per_session": steps,
+            "concurrency": concurrency,
+            "seed": SEED,
+        },
+        "serial": serial,
+        "concurrent": concurrent,
+        "steps_per_second": concurrent["steps_per_second"],
+        "concurrent_vs_serial_ratio": round(ratio, 3),
+        "shards_workers_grid": grid,
+        "python": platform.python_version(),
+        "gil_enabled": bool(gil_probe()) if gil_probe else True,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "per-session results/logs/snapshots are identical to serial "
+            "at every concurrency; the ratio measures wall-clock only "
+            "and is GIL/core-count bound on stock CPython"
+        ),
+    }
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_e20_concurrent_matches_serial_outputs():
+    """Acceptance: concurrency in {2, 8} reproduces serial results
+    exactly on the (small) multi-session batch."""
+    transducer = build_friendly()
+    catalog, scripts = build_workload(sessions=24, products=100, steps=6)
+    batch = interleaved_batch(scripts)
+
+    def outputs(concurrency):
+        service = PodService(transducer, catalog.as_database())
+        for session_id in sorted(scripts):
+            service.create_session(session_id)
+        results = service.submit_batch(batch, concurrency=concurrency)
+        return [(r.session.session_id, r.step, r.output) for r in results], {
+            session_id: list(service.session(session_id).log().entries)
+            for session_id in scripts
+        }
+
+    serial_results, serial_logs = outputs(1)
+    for concurrency in (2, 8):
+        results, logs = outputs(concurrency)
+        assert results == serial_results
+        assert logs == serial_logs
+
+
+def test_e20_throughput_smoke(benchmark):
+    """Small concurrent-batch throughput measurement (CI smoke size)."""
+    record = benchmark.pedantic(
+        measure_single,
+        args=(40, 300, 6, CONCURRENCY),
+        iterations=1,
+        rounds=3,
+    )
+    assert record["steps_per_second"] > 0
+    assert record["total_steps"] == 240
+
+
+def test_e20_concurrency_preserves_throughput():
+    """The pool must not collapse throughput.
+
+    On a GIL-enabled single-core runner the expected ratio is ~1.0
+    (no parallelism to win, only dispatch overhead to lose); the
+    assertion guards against an accidentally serializing or quadratic
+    fan-out path, not against runner noise.
+    """
+    serial = measure_single(200, 300, 6, concurrency=1)
+    concurrent = measure_single(200, 300, 6, concurrency=CONCURRENCY)
+    ratio = concurrent["steps_per_second"] / serial["steps_per_second"]
+    print(
+        f"\nE20: serial {serial['steps_per_second']:.0f} steps/s, "
+        f"concurrent(x{CONCURRENCY}) {concurrent['steps_per_second']:.0f} "
+        f"steps/s, ratio {ratio:.2f}"
+    )
+    assert ratio >= 0.3
+
+
+# -- script entry point -------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI (100 sessions, 300 products)",
+    )
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--products", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=CONCURRENCY)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_e20.json",
+    )
+    args = parser.parse_args()
+    sessions = (
+        args.sessions
+        if args.sessions is not None
+        else (100 if args.smoke else FULL_SESSIONS)
+    )
+    products = (
+        args.products
+        if args.products is not None
+        else (300 if args.smoke else PRODUCTS)
+    )
+    if sessions < 1:
+        parser.error("--sessions must be >= 1")
+    if products < 1:
+        parser.error("--products must be >= 1")
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
+    record = run_experiment(
+        sessions=sessions, products=products, concurrency=args.concurrency
+    )
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

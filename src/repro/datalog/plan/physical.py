@@ -23,6 +23,7 @@ as soon as their variables are bound):
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping, Sequence
 
 from dataclasses import dataclass, fields, replace
@@ -144,13 +145,21 @@ def make_orderer(ordering: str, store: FactStore | None):
 
 
 class CompiledRule:
-    """One rule's physical state: its node plus memoized check schedules."""
+    """One rule's physical state: its node plus memoized check schedules.
 
-    __slots__ = ("node", "_schedules")
+    Compiled rules live inside the process-wide shared
+    :class:`PhysicalPlan`, so concurrent sessions executing the same
+    plan may race on a schedule's first use; the memo is therefore
+    built under a lock and published whole, with the (hot) cached path
+    staying lock-free.
+    """
+
+    __slots__ = ("node", "_schedules", "_schedule_lock")
 
     def __init__(self, node: RuleNode) -> None:
         self.node = node
         self._schedules: dict[tuple[int, ...], list[list]] = {}
+        self._schedule_lock = threading.Lock()
 
     def schedule(self, order: Sequence[AtomNode]) -> list[list]:
         """``checks_at[i]``: checks to run right after ``order[i]`` matches."""
@@ -158,24 +167,28 @@ class CompiledRule:
         cached = self._schedules.get(key)
         if cached is not None:
             return cached
-        checks_at: list[list] = [[] for _ in order]
-        bound: set[Variable] = set()
-        bound_by: list[set[Variable]] = []
-        for info in order:
-            bound |= info.variables
-            bound_by.append(set(bound))
-        for check in self.node.checks:
-            variables = set(check.variables())
-            for i, available in enumerate(bound_by):
-                if variables <= available:
-                    checks_at[i].append(check)
-                    break
-            else:
-                raise EvaluationError(
-                    f"literal {check} has variables not bound by any "
-                    "positive atom"
-                )
-        self._schedules[key] = checks_at
+        with self._schedule_lock:
+            cached = self._schedules.get(key)
+            if cached is not None:
+                return cached
+            checks_at: list[list] = [[] for _ in order]
+            bound: set[Variable] = set()
+            bound_by: list[set[Variable]] = []
+            for info in order:
+                bound |= info.variables
+                bound_by.append(set(bound))
+            for check in self.node.checks:
+                variables = set(check.variables())
+                for i, available in enumerate(bound_by):
+                    if variables <= available:
+                        checks_at[i].append(check)
+                        break
+                else:
+                    raise EvaluationError(
+                        f"literal {check} has variables not bound by any "
+                        "positive atom"
+                    )
+            self._schedules[key] = checks_at
         return checks_at
 
 
@@ -318,6 +331,11 @@ class IncrementalExecutor:
       step's new monotone rows (or skipped when nothing changed);
     * ``static`` -- database-only body: joined once, cached for the
       session's lifetime.
+
+    An executor is per-session mutable state and is NOT thread-safe:
+    the concurrent batch path keeps it safe by stepping each session on
+    exactly one worker at a time (the shared, read-only
+    :class:`PhysicalPlan` is what crosses threads).
     """
 
     __slots__ = ("plan", "volatile", "monotone", "categories", "_caches",

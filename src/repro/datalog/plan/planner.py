@@ -22,6 +22,7 @@ ordering), shared by every session of every service in the process.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import PlanError
@@ -148,6 +149,12 @@ class Planner:
 _plan_cache: dict[tuple[Program, str], "PhysicalPlan"] = {}
 _PLAN_CACHE_LIMIT = 1024
 _cache_info = {"compiled": 0, "hits": 0}
+# The cache is process-wide and sessions may be created from worker
+# threads (concurrent submit_batch restores sessions lazily), so every
+# lookup-or-compile is serialized: one (program, ordering) pair is
+# compiled exactly once no matter how many threads race on first touch,
+# and the compiled/hits counters stay exact.
+_plan_cache_lock = threading.Lock()
 
 
 def compile_cached(
@@ -155,16 +162,17 @@ def compile_cached(
 ) -> tuple["PhysicalPlan", bool]:
     """``(plan, was_cache_hit)`` for one (program, ordering) pair."""
     key = (program, ordering)
-    plan = _plan_cache.get(key)
-    if plan is not None:
-        _cache_info["hits"] += 1
-        return plan, True
-    if len(_plan_cache) >= _PLAN_CACHE_LIMIT:
-        _plan_cache.clear()
-    plan = Planner(ordering).plan(program)
-    _plan_cache[key] = plan
-    _cache_info["compiled"] += 1
-    return plan, False
+    with _plan_cache_lock:
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            _cache_info["hits"] += 1
+            return plan, True
+        if len(_plan_cache) >= _PLAN_CACHE_LIMIT:
+            _plan_cache.clear()
+        plan = Planner(ordering).plan(program)
+        _plan_cache[key] = plan
+        _cache_info["compiled"] += 1
+        return plan, False
 
 
 def compile_program(
@@ -209,13 +217,15 @@ def incremental_executor_for(
 
 def plan_cache_info() -> dict[str, int]:
     """Process-wide compilation counters (plans compiled / cache hits)."""
-    return {
-        "compiled": _cache_info["compiled"],
-        "hits": _cache_info["hits"],
-        "size": len(_plan_cache),
-    }
+    with _plan_cache_lock:
+        return {
+            "compiled": _cache_info["compiled"],
+            "hits": _cache_info["hits"],
+            "size": len(_plan_cache),
+        }
 
 
 def clear_plan_cache() -> None:
     """Drop all compiled plans (tests and benchmarks)."""
-    _plan_cache.clear()
+    with _plan_cache_lock:
+        _plan_cache.clear()

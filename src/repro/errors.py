@@ -121,11 +121,32 @@ class AuditViolation(VerificationError):
     step has been applied and persisted; ``findings`` carries the
     :class:`~repro.verify.api.AuditFinding` objects of the violating
     step, each with a replayable counterexample trace.
+
+    When the violation surfaced inside ``submit_batch``,
+    ``partial_results`` is a tuple aligned with the batch's requests:
+    the :class:`~repro.pods.api.StepResult` of every request that
+    completed, ``None`` elsewhere.  Serially that is the prefix before
+    the violating request; under concurrency the violating session's
+    group stops at the violation while the other sessions' groups run
+    to completion (each session's results are always an in-order
+    prefix of its own subsequence).  The violating request itself is
+    ``None`` even though its step *was* applied and persisted (the
+    audit runs after apply) -- callers reconcile the ``None`` slots
+    against the session store.  ``None`` (the default) means the
+    violation did not come from a batch.
     """
 
-    def __init__(self, message: str, findings: tuple = ()) -> None:
+    def __init__(
+        self,
+        message: str,
+        findings: tuple = (),
+        partial_results: "tuple | None" = None,
+    ) -> None:
         super().__init__(message)
         self.findings = tuple(findings)
+        self.partial_results = (
+            tuple(partial_results) if partial_results is not None else None
+        )
 
 
 class UndecidableError(VerificationError):

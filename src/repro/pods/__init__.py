@@ -32,7 +32,12 @@ read-only indexed database and the per-shard metrics.  Stepping
 different sessions in any interleaving gives the same per-session runs
 as running them back to back (the run semantics of Section 2.2 is a
 fold over the session's own inputs) -- and, with a durable store, the
-same runs even across a service restart in the middle.
+same runs even across a service restart in the middle.  That isolation
+is what makes ``submit_batch(requests, concurrency=N)`` safe: the batch
+is grouped by session and fanned out to a worker pool, with results,
+logs, and snapshots identical to serial execution
+(:func:`~repro.pods.service.batch_concurrency` resolves the default
+from ``REPRO_BATCH_CONCURRENCY``).
 
 The PR 1 surface (:class:`repro.runtime.MultiSessionEngine`) remains as
 a deprecated shim over :class:`PodService`.
@@ -45,7 +50,13 @@ from repro.pods.api import (
     StepResult,
 )
 from repro.pods.metrics import RuntimeMetrics
-from repro.pods.service import PodService, ShardedPodService, shard_of
+from repro.pods.service import (
+    CONCURRENCY_ENV,
+    PodService,
+    ShardedPodService,
+    batch_concurrency,
+    shard_of,
+)
 from repro.pods.session import Session, SessionLog
 from repro.pods.store import (
     InMemoryStore,
@@ -61,8 +72,10 @@ __all__ = [
     "StepRequest",
     "StepResult",
     "RuntimeMetrics",
+    "CONCURRENCY_ENV",
     "PodService",
     "ShardedPodService",
+    "batch_concurrency",
     "shard_of",
     "Session",
     "SessionLog",

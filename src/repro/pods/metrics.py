@@ -10,10 +10,18 @@ elapsed time, so they are end-to-end numbers, not per-call averages.
 :class:`~repro.pods.service.ShardedPodService` into one service-wide
 view: counts add, latency extremes combine, and the elapsed clock spans
 from the earliest shard start.
+
+Accumulation is thread-safe: every ``record_*`` method updates its
+counters under an internal lock, so the workers of a concurrent
+``submit_batch`` (and any caller threads submitting directly) never
+lose increments to read-modify-write races.  Reads (:meth:`snapshot`,
+the derived rates, :meth:`merged`) are lock-free -- they read plain
+ints/floats, each of which is updated atomically under the lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
@@ -51,32 +59,40 @@ class RuntimeMetrics:
     audit_checks: int = 0
     audit_violations: int = 0
     started_at: float = field(default_factory=time.perf_counter)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_session(self) -> None:
-        self.sessions_created += 1
+        with self._lock:
+            self.sessions_created += 1
 
     def record_resume(self) -> None:
-        self.sessions_resumed += 1
+        with self._lock:
+            self.sessions_resumed += 1
 
     def record_close(self) -> None:
-        self.sessions_closed += 1
+        with self._lock:
+            self.sessions_closed += 1
 
     def record_step(self, seconds: float) -> None:
-        self.steps_executed += 1
-        self.step_seconds_total += seconds
-        if seconds < self.step_seconds_min:
-            self.step_seconds_min = seconds
-        if seconds > self.step_seconds_max:
-            self.step_seconds_max = seconds
+        with self._lock:
+            self.steps_executed += 1
+            self.step_seconds_total += seconds
+            if seconds < self.step_seconds_min:
+                self.step_seconds_min = seconds
+            if seconds > self.step_seconds_max:
+                self.step_seconds_max = seconds
 
     def record_eval(self, counters: "EvalCounters") -> None:
         """Fold one session's plan/evaluation counter delta in."""
-        self.plans_compiled += counters.plans_compiled
-        self.plan_cache_hits += counters.plan_cache_hits
-        self.full_rule_evals += counters.full_rule_evals
-        self.delta_rule_evals += counters.delta_rule_evals
-        self.delta_rules_skipped += counters.delta_rules_skipped
-        self.static_cache_hits += counters.static_cache_hits
+        with self._lock:
+            self.plans_compiled += counters.plans_compiled
+            self.plan_cache_hits += counters.plan_cache_hits
+            self.full_rule_evals += counters.full_rule_evals
+            self.delta_rule_evals += counters.delta_rule_evals
+            self.delta_rules_skipped += counters.delta_rules_skipped
+            self.static_cache_hits += counters.static_cache_hits
 
     def record_audit(self, outcome) -> None:
         """Fold one audited step's outcome in.
@@ -88,9 +104,10 @@ class RuntimeMetrics:
         same ``plans_*`` / ``*_rule_evals`` counters as session
         stepping -- audit joins are ordinary plan executions.
         """
-        self.audited_steps += 1
-        self.audit_checks += outcome.checks
-        self.audit_violations += len(outcome.findings)
+        with self._lock:
+            self.audited_steps += 1
+            self.audit_checks += outcome.checks
+            self.audit_violations += len(outcome.findings)
         self.record_eval(outcome.eval_delta)
 
     # -- aggregation -----------------------------------------------------------

@@ -19,12 +19,29 @@ hash (:func:`shard_of`, CRC-32), so the same id lands on the same shard
 in every process, every run.  Shards share the database instance -- and
 therefore the transducer's cached hash indexes -- but nothing else;
 splitting them across real processes is pure deployment.
+
+Concurrency: ``submit_batch(requests, concurrency=N)`` steps the batch
+on a worker pool.  Requests are grouped by session id, each session's
+subsequence runs in order on exactly one worker, and results come back
+in request order -- so per-session semantics (and persisted snapshots)
+are identical to serial execution, which stays the byte-identical
+default (``concurrency=1``).  Sessions share only read-only state (the
+indexed database store, the compiled physical plan); everything
+mutable is either per-session (stepped by one worker at a time) or
+internally locked (metrics, the session map, store writes, audit
+findings).  On a sharded service the same grouping applies: a session's
+group is by construction a subset of one shard's slice of the batch,
+so the pool fans each shard's slice out without ever racing a shard's
+per-session state.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:
@@ -76,6 +93,38 @@ def _fresh_session_id(prefix, counter, exists):
             return candidate, counter
 
 
+#: Environment override for the default batch concurrency: when
+#: ``submit_batch`` is called without an explicit ``concurrency``, this
+#: variable (an integer >= 1) supplies it.  CI runs the whole test
+#: suite once with ``REPRO_BATCH_CONCURRENCY=4`` so every batch-shaped
+#: code path is exercised through the worker pool.
+CONCURRENCY_ENV = "REPRO_BATCH_CONCURRENCY"
+
+
+def batch_concurrency(concurrency: "int | None" = None) -> int:
+    """Resolve a ``submit_batch`` concurrency argument.
+
+    ``None`` falls back to :data:`CONCURRENCY_ENV`, then to 1 (serial).
+    Anything below 1 -- explicit or from the environment -- raises
+    :class:`~repro.errors.SessionError`.
+    """
+    if concurrency is None:
+        raw = os.environ.get(CONCURRENCY_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            concurrency = int(raw)
+        except ValueError:
+            raise SessionError(
+                f"invalid {CONCURRENCY_ENV}={raw!r}: need an integer >= 1"
+            ) from None
+    if concurrency < 1:
+        raise SessionError(
+            f"batch concurrency must be >= 1, got {concurrency}"
+        )
+    return concurrency
+
+
 def shard_of(session_id: str, shards: int) -> int:
     """The shard a session id routes to: stable across processes.
 
@@ -95,17 +144,98 @@ class _PodApi:
         raise NotImplementedError
 
     def submit_batch(
-        self, requests: Iterable[StepRequest]
+        self,
+        requests: Iterable[StepRequest],
+        *,
+        concurrency: "int | None" = None,
     ) -> list[StepResult]:
         """Advance many sessions; results align with the requests.
 
-        The batch is executed in the given order; sessions may appear
-        multiple times.  Because sessions share nothing but the
-        read-only database, any batching/interleaving produces the same
-        per-session results -- which is exactly the seam the planned
-        async stepping will exploit.
+        Sessions may appear multiple times.  ``concurrency=1`` (the
+        default, or via :data:`CONCURRENCY_ENV`) executes the batch
+        serially in the given order.  ``concurrency=N`` groups the
+        requests by session id and dispatches each session's
+        subsequence -- in order, on a single worker -- to a pool of up
+        to N threads; because sessions share only read-only state, the
+        per-session results, logs, and persisted snapshots are
+        identical to serial execution, and the returned list is in
+        request order either way.
+
+        If a strict auditor raises :class:`~repro.errors.AuditViolation`
+        mid-batch, the already-completed results are attached to the
+        exception as ``partial_results`` (request-aligned, ``None`` for
+        requests that did not complete) so callers can reconcile with
+        the store -- the violating step itself *was* applied and
+        persisted.  Under concurrency, each session's completed results
+        still form a prefix of that session's subsequence.
         """
-        return [self.submit(request) for request in requests]
+        requests = list(requests)
+        concurrency = batch_concurrency(concurrency)
+        if concurrency == 1 or len(requests) <= 1:
+            return self._submit_serial(requests)
+        return self._submit_concurrent(requests, concurrency)
+
+    def _submit_serial(
+        self, requests: Sequence[StepRequest]
+    ) -> list[StepResult]:
+        results: "list[StepResult | None]" = [None] * len(requests)
+        try:
+            for index, request in enumerate(requests):
+                results[index] = self.submit(request)
+        except AuditViolation as violation:
+            violation.partial_results = tuple(results)
+            raise
+        return results  # fully populated: no request failed
+
+    def _submit_concurrent(
+        self, requests: Sequence[StepRequest], concurrency: int
+    ) -> list[StepResult]:
+        # Group by session id, preserving each session's request order.
+        # One group runs on one worker, so a session's steps (and its
+        # store writes and audit observations) never race themselves.
+        groups: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(
+                session_id_of(request.session), []
+            ).append(index)
+        if len(groups) == 1:
+            # One session = one worker executing the serial schedule;
+            # skip the pool (run_session under an env-set concurrency
+            # would otherwise pay pool setup per call for nothing).
+            return self._submit_serial(requests)
+        results: "list[StepResult | None]" = [None] * len(requests)
+
+        def run_group(indices: list[int]) -> None:
+            for index in indices:
+                results[index] = self.submit(requests[index])
+
+        with ThreadPoolExecutor(
+            max_workers=min(concurrency, len(groups)),
+            thread_name_prefix="pod-batch",
+        ) as pool:
+            futures = [
+                pool.submit(run_group, indices)
+                for indices in groups.values()
+            ]
+        # The pool context waited for every group: a failing group stops
+        # at its failing request, the others run to completion.
+        errors = [
+            exc
+            for exc in (future.exception() for future in futures)
+            if exc is not None
+        ]
+        if errors:
+            # Deterministic choice: the first failing group in request
+            # (= first-appearance) order; audit violations win so their
+            # partial results reach the caller.
+            violation = next(
+                (e for e in errors if isinstance(e, AuditViolation)), None
+            )
+            if violation is not None:
+                violation.partial_results = tuple(results)
+                raise violation
+            raise errors[0]
+        return results  # fully populated: no request failed
 
     def run_session(
         self,
@@ -184,6 +314,11 @@ class PodService(_PodApi):
         self._id_prefix = id_prefix
         self._sessions: dict[str, Session] = {}
         self._next_id = 0
+        # Guards session creation and lazy restore: concurrent batch
+        # workers touching distinct sessions must not race the session
+        # map or restore the same session twice.  submit() reads the
+        # map lock-free on its hot path (see session()).
+        self._lock = threading.Lock()
         self.metrics = RuntimeMetrics()
         # Online auditing (repro.verify.api.OnlineAuditor): every step
         # applied through submit() is checked against the attached
@@ -225,31 +360,41 @@ class PodService(_PodApi):
         (and across the shards of a sharded service); omitted, the
         service generates ``<prefix>-NNNNNN``.
         """
-        if session_id is None:
-            session_id, self._next_id = _fresh_session_id(
-                self._id_prefix, self._next_id, self.has_session
+        with self._lock:
+            if session_id is None:
+                session_id, self._next_id = _fresh_session_id(
+                    self._id_prefix, self._next_id, self.has_session
+                )
+            else:
+                _check_session_id(session_id)
+                if (
+                    session_id in self._sessions
+                    or self._store.load(session_id) is not None
+                ):
+                    raise SessionError(
+                        f"session already exists: {session_id!r}"
+                    )
+            session = Session(
+                session_id,
+                self._transducer,
+                self._database,
+                keep_log=self._keep_logs,
             )
-        else:
-            _check_session_id(session_id)
-            if (
-                session_id in self._sessions
-                or self._store.load(session_id) is not None
-            ):
-                raise SessionError(f"session already exists: {session_id!r}")
-        session = Session(
-            session_id,
-            self._transducer,
-            self._database,
-            keep_log=self._keep_logs,
-        )
-        self._sessions[session_id] = session
-        self._store.record_created(session_id)
-        if self._auditor is not None:
-            self._auditor.register_session(session_id)
-        self.metrics.record_session()
-        # Plan compile/reuse happened while building the session's
-        # step context; later submit() calls record only their delta.
-        self.metrics.record_eval(session.eval_counters())
+            # Publication into _sessions comes LAST: session() reads the
+            # map lock-free, so the moment another thread can see the
+            # session (and submit to it) its created record and auditor
+            # registration must already exist -- a record_step landing
+            # before record_created would corrupt the event file, and an
+            # observe_step before registration would silently skip the
+            # audit.
+            self._store.record_created(session_id)
+            if self._auditor is not None:
+                self._auditor.register_session(session_id)
+            self.metrics.record_session()
+            # Plan compile/reuse happened while building the session's
+            # step context; later submit() calls record only their delta.
+            self.metrics.record_eval(session.eval_counters())
+            self._sessions[session_id] = session
         return SessionHandle(session_id, self._shard_index)
 
     def create_sessions(self, count: int) -> list[SessionHandle]:
@@ -257,7 +402,14 @@ class PodService(_PodApi):
 
     def _restore(self, snapshot: SessionSnapshot) -> Session:
         schema = self._transducer.schema
-        state = Instance(schema.state, snapshot.state_facts)
+        if snapshot.steps == 0 and not snapshot.state_facts:
+            # Stores only snapshot state on the first record_step, so a
+            # never-stepped session's snapshot carries no state facts.
+            # Its state is S_0 -- which need not be empty for every
+            # transducer -- not the all-empty instance.
+            state = self._transducer.initial_state()
+        else:
+            state = Instance(schema.state, snapshot.state_facts)
         if not self._keep_logs:
             # Logging is off in this service; don't retain a restored log.
             log: tuple[Instance, ...] = ()
@@ -291,33 +443,43 @@ class PodService(_PodApi):
 
         A session created by a previous service instance over the same
         store is rebuilt from its snapshot on first touch; unknown ids
-        raise :class:`~repro.errors.SessionError`.
+        raise :class:`~repro.errors.SessionError`.  The hot path (a
+        live session) is a lock-free dictionary read; the restore path
+        is double-checked under the service lock so concurrent first
+        touches rebuild a session exactly once.
         """
         session_id = session_id_of(session)
         live = self._sessions.get(session_id)
         if live is not None:
             return live
-        snapshot = self._store.load(session_id)
-        if snapshot is None:
-            raise SessionError(f"no such session: {session_id!r}")
-        restored = self._restore(snapshot)
-        self._sessions[session_id] = restored
-        if self._auditor is not None:
-            # The auditor gets the *stored* log prefix even when this
-            # service runs with keep_logs=False: the prefix is the
-            # resume point of every future finding's replay trace.
-            schema = self._transducer.schema
-            self._auditor.register_session(
-                session_id,
-                steps=snapshot.steps,
-                log=tuple(
-                    Instance(schema.log_schema, dict(entry))
-                    for entry in snapshot.log_facts
-                ),
-                state=restored.state,
-            )
-        self.metrics.record_resume()
-        self.metrics.record_eval(restored.eval_counters())
+        with self._lock:
+            live = self._sessions.get(session_id)
+            if live is not None:
+                return live
+            snapshot = self._store.load(session_id)
+            if snapshot is None:
+                raise SessionError(f"no such session: {session_id!r}")
+            restored = self._restore(snapshot)
+            if self._auditor is not None:
+                # The auditor gets the *stored* log prefix even when
+                # this service runs with keep_logs=False: the prefix is
+                # the resume point of every future finding's replay
+                # trace.
+                schema = self._transducer.schema
+                self._auditor.register_session(
+                    session_id,
+                    steps=snapshot.steps,
+                    log=tuple(
+                        Instance(schema.log_schema, dict(entry))
+                        for entry in snapshot.log_facts
+                    ),
+                    state=restored.state,
+                )
+            self.metrics.record_resume()
+            self.metrics.record_eval(restored.eval_counters())
+            # Published last: lock-free session() readers must only see
+            # a session whose auditor registration is complete.
+            self._sessions[session_id] = restored
         return restored
 
     def has_session(self, session: SessionHandle | str) -> bool:
@@ -339,7 +501,11 @@ class PodService(_PodApi):
         """Retire a session; returns its final log."""
         live = self.session(session)
         session_id = session_id_of(session)
-        del self._sessions[session_id]
+        with self._lock:
+            # Re-check under the lock: two racing closes must not leak
+            # a raw KeyError out of the loser.
+            if self._sessions.pop(session_id, None) is None:
+                raise SessionError(f"no such session: {session_id!r}")
         self._store.record_closed(session_id)
         if self._auditor is not None:
             self._auditor.forget_session(session_id)
@@ -449,6 +615,7 @@ class ShardedPodService(_PodApi):
         ]
         self._id_prefix = id_prefix
         self._next_id = 0
+        self._lock = threading.Lock()  # guards _next_id allocation
 
     # -- routing ---------------------------------------------------------------
 
@@ -485,9 +652,10 @@ class ShardedPodService(_PodApi):
 
     def create_session(self, session_id: str | None = None) -> SessionHandle:
         if session_id is None:
-            session_id, self._next_id = _fresh_session_id(
-                self._id_prefix, self._next_id, self.has_session
-            )
+            with self._lock:
+                session_id, self._next_id = _fresh_session_id(
+                    self._id_prefix, self._next_id, self.has_session
+                )
         return self._route(session_id).create_session(session_id)
 
     def create_sessions(self, count: int) -> list[SessionHandle]:

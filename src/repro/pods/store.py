@@ -17,11 +17,20 @@ and can reproduce any live session as a
 The JSONL format stores relation facts as sorted lists of rows; values
 must be JSON-representable (the repro domain uses strings and numbers).
 Rows round-trip back to tuples (nested sequences included) on load.
+
+Both stores serialize their writes per session: record events for one
+session are applied atomically and in call order even when they arrive
+from different threads (the workers of a concurrent ``submit_batch``
+own disjoint sessions, but nothing stops callers from submitting the
+same session from their own threads -- the store stays consistent
+either way; *ordering* across racing writers of one session remains the
+caller's contract).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Mapping, Protocol, TYPE_CHECKING, runtime_checkable
 
@@ -85,9 +94,14 @@ class InMemoryStore:
     def __init__(self) -> None:
         # session id -> [steps, state instance or None, log instances]
         self._records: dict[str, list] = {}
+        # One lock serializes all record mutations: the per-event work
+        # is two assignments and an append, so finer-grained locking
+        # would buy nothing.
+        self._lock = threading.Lock()
 
     def record_created(self, session_id: str) -> None:
-        self._records[session_id] = [0, None, []]
+        with self._lock:
+            self._records[session_id] = [0, None, []]
 
     def record_step(
         self,
@@ -96,26 +110,29 @@ class InMemoryStore:
         state: "Instance",
         log_entry: "Instance | None",
     ) -> None:
-        record = self._records[session_id]
-        record[0] = steps
-        record[1] = state
-        if log_entry is not None:
-            record[2].append(log_entry)
+        with self._lock:
+            record = self._records[session_id]
+            record[0] = steps
+            record[1] = state
+            if log_entry is not None:
+                record[2].append(log_entry)
 
     def record_closed(self, session_id: str) -> None:
-        self._records.pop(session_id, None)
+        with self._lock:
+            self._records.pop(session_id, None)
 
     def import_snapshot(self, snapshot: SessionSnapshot) -> None:
         """Adopt a session from another store (plain-facts form)."""
-        if snapshot.session_id in self._records:
-            raise SessionError(
-                f"session already exists: {snapshot.session_id!r}"
-            )
-        self._records[snapshot.session_id] = [
-            snapshot.steps,
-            dict(snapshot.state_facts),
-            [dict(entry) for entry in snapshot.log_facts],
-        ]
+        with self._lock:
+            if snapshot.session_id in self._records:
+                raise SessionError(
+                    f"session already exists: {snapshot.session_id!r}"
+                )
+            self._records[snapshot.session_id] = [
+                snapshot.steps,
+                dict(snapshot.state_facts),
+                [dict(entry) for entry in snapshot.log_facts],
+            ]
 
     @staticmethod
     def _facts(value) -> Facts:
@@ -125,10 +142,12 @@ class InMemoryStore:
         return facts_of(value)
 
     def load(self, session_id: str) -> SessionSnapshot | None:
-        record = self._records.get(session_id)
-        if record is None:
-            return None
-        steps, state, log = record
+        with self._lock:
+            record = self._records.get(session_id)
+            if record is None:
+                return None
+            steps, state, log = record
+            log = list(log)
         return SessionSnapshot(
             session_id,
             steps,
@@ -137,7 +156,8 @@ class InMemoryStore:
         )
 
     def session_ids(self) -> list[str]:
-        return sorted(self._records)
+        with self._lock:
+            return sorted(self._records)
 
 
 def _encode_facts(facts: Facts) -> dict[str, list[list]]:
@@ -186,8 +206,21 @@ class JsonlDirectoryStore:
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        # Per-session write locks: appends to one session's event file
+        # must not interleave mid-line when submitted from threads;
+        # distinct sessions write to distinct files and proceed in
+        # parallel.  _locks_guard only protects the lock dict itself.
+        self._locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
         if compact_on_open:
             self.compact()
+
+    def _lock_of(self, session_id: str) -> threading.Lock:
+        lock = self._locks.get(session_id)
+        if lock is None:
+            with self._locks_guard:
+                lock = self._locks.setdefault(session_id, threading.Lock())
+        return lock
 
     @property
     def directory(self) -> Path:
@@ -198,13 +231,19 @@ class JsonlDirectoryStore:
         return self._directory / f"{session_id}.jsonl"
 
     def _append(self, session_id: str, record: dict) -> None:
-        with self.path_of(session_id).open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with self._lock_of(session_id):
+            with self.path_of(session_id).open(
+                "a", encoding="utf-8"
+            ) as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     def record_created(self, session_id: str) -> None:
         record = {"kind": "created", "session_id": session_id, "version": 1}
-        with self.path_of(session_id).open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with self._lock_of(session_id):
+            with self.path_of(session_id).open(
+                "w", encoding="utf-8"
+            ) as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     def record_step(
         self,
@@ -324,10 +363,29 @@ class JsonlDirectoryStore:
                     log_facts.append(_decode_facts(record["log"]))
         return SessionSnapshot(session_id, steps, state_facts, tuple(log_facts))
 
+    # Every record is dumped with sort_keys=True and "kind" sorts before
+    # every other key this store writes (log/logs/session_id/state/
+    # steps/version), so each line starts with its kind marker and
+    # resumability is decidable from the raw lines -- no fact decoding.
+    _CLOSED_PREFIX = '{"kind": "closed"'
+
+    def _is_resumable(self, path: Path) -> bool:
+        """Scan one event file for a ``closed`` record, cheaply.
+
+        Reads lines only (no JSON parsing, no fact decoding) and stops
+        at the first ``closed`` marker, making :meth:`session_ids` over
+        a large pod directory O(total lines) instead of O(total facts).
+        """
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.startswith(self._CLOSED_PREFIX):
+                    return False
+        return True
+
     def session_ids(self) -> list[str]:
         ids = []
         for path in sorted(self._directory.glob("*.jsonl")):
-            if self.load(path.stem) is not None:
+            if self._is_resumable(path):
                 ids.append(path.stem)
         return ids
 

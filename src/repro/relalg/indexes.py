@@ -20,10 +20,20 @@ layer (copy-on-write), leaving the base untouched.  This is how one
 indexed catalog database is shared by every evaluation of every session
 in :mod:`repro.runtime`: the engine indexes the catalog once, and each
 transducer step layers its small input/state facts on top.
+
+Concurrency contract: a store that is only *read* (lookups, scans,
+stats) may be shared between threads -- the lazy index build is
+serialized internally, so the first concurrent touches of a
+(predicate, positions) pattern build its buckets exactly once.  That is
+what the shared database store of a concurrent
+:meth:`~repro.pods.service.PodService.submit_batch` relies on.  Mutation
+(:meth:`add`) is not synchronized against concurrent readers of the
+same layer; per-step layered stores are session-private by design.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -59,7 +69,7 @@ class FactStore:
     store consulted for predicates the local layer does not define.
     """
 
-    __slots__ = ("_rows", "_indexes", "_base", "_frozen_cache")
+    __slots__ = ("_rows", "_indexes", "_base", "_frozen_cache", "_index_lock")
 
     def __init__(
         self,
@@ -74,6 +84,10 @@ class FactStore:
         self._indexes: dict[str, dict[Positions, _Buckets]] = {}
         self._base = base
         self._frozen_cache: dict[str, frozenset[tuple]] = {}
+        # Serializes lazy index construction only: concurrent readers of
+        # a shared store must build each (predicate, positions) index
+        # exactly once, then read it lock-free (published fully built).
+        self._index_lock = threading.Lock()
         if facts:
             for name, rows in facts.items():
                 if isinstance(rows, frozenset):
@@ -119,6 +133,8 @@ class FactStore:
             return local
         cached = self._frozen_cache.get(predicate)
         if cached is None:
+            # Benign race: concurrent readers may both freeze the same
+            # rows; the values are equal and the publish is atomic.
             cached = frozenset(local)
             self._frozen_cache[predicate] = cached
         return cached
@@ -145,10 +161,20 @@ class FactStore:
         return self._buckets(predicate, positions).get(key, ())
 
     def _buckets(self, predicate: str, positions: Positions) -> _Buckets:
-        """The bucket map of the (local) index, built on first use."""
+        """The bucket map of the (local) index, built on first use.
+
+        Build-once under concurrency: the first thread to miss takes the
+        lock, re-checks, builds, and publishes the finished map in one
+        assignment; later calls hit the lock-free fast path.
+        """
         per_pred = self._indexes.setdefault(predicate, {})
         buckets = per_pred.get(positions)
-        if buckets is None:
+        if buckets is not None:
+            return buckets
+        with self._index_lock:
+            buckets = per_pred.get(positions)
+            if buckets is not None:
+                return buckets
             buckets = {}
             width = max(positions) + 1 if positions else 0
             for row in self._rows[predicate]:

@@ -25,6 +25,7 @@ otherwise findings accumulate for later inspection.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -130,6 +131,12 @@ class OnlineAuditor:
         self._database_facts: dict | None = None
         self._sessions: dict[str, _SessionAudit] = {}
         self._findings: list[AuditFinding] = []
+        # Guards the cross-session shared pieces (_sessions, _findings):
+        # observe_step calls arrive concurrently from the workers of a
+        # concurrent submit_batch -- one session per worker, so each
+        # _SessionAudit stays single-threaded, but registration and the
+        # findings ledger are shared and must not lose entries.
+        self._lock = threading.Lock()
 
     # -- lifecycle (driven by the owning service) ------------------------------
 
@@ -182,8 +189,9 @@ class OnlineAuditor:
         """
         if self._transducer is None or self._database is None:
             raise SpecError("OnlineAuditor.bind() must run before sessions")
-        if session_id in self._sessions:
-            return
+        with self._lock:
+            if session_id in self._sessions:
+                return
         if steps and len(log) != steps:
             raise SpecError(
                 f"cannot audit session {session_id!r}: it resumed at step "
@@ -221,11 +229,15 @@ class OnlineAuditor:
             seed_inputs=seed_inputs,
         )
         audit.log.extend(log)
-        self._sessions[session_id] = audit
+        with self._lock:
+            # setdefault so racing registrations of the same session id
+            # agree on one audit object (first writer wins).
+            self._sessions.setdefault(session_id, audit)
 
     def forget_session(self, session_id: str) -> None:
         """Stop auditing (session closed); keeps recorded findings."""
-        self._sessions.pop(session_id, None)
+        with self._lock:
+            self._sessions.pop(session_id, None)
 
     # -- the per-step hook -----------------------------------------------------
 
@@ -240,8 +252,15 @@ class OnlineAuditor:
         state_after: "Instance",
         log_entry: "Instance | None",
     ) -> AuditOutcome:
-        """Check one applied step; returns findings and counter deltas."""
-        audit = self._sessions.get(session_id)
+        """Check one applied step; returns findings and counter deltas.
+
+        Safe to call concurrently for *different* sessions (the shared
+        findings ledger is locked); one session's steps must be
+        observed sequentially, which the owning service guarantees by
+        stepping each session on a single worker.
+        """
+        with self._lock:
+            audit = self._sessions.get(session_id)
         if audit is None:
             return AuditOutcome()
         audit.inputs.append(inputs)
@@ -284,7 +303,9 @@ class OnlineAuditor:
         current = sum_counters(m.eval_counters() for m in audit.monitors)
         delta = current - audit.counters_seen
         audit.counters_seen = current
-        self._findings.extend(findings)
+        if findings:
+            with self._lock:
+                self._findings.extend(findings)
         return AuditOutcome(
             findings=tuple(findings),
             checks=checks,
@@ -326,12 +347,15 @@ class OnlineAuditor:
 
     def findings(self, session_id: str | None = None) -> list[AuditFinding]:
         """All recorded findings, optionally for one session."""
+        with self._lock:
+            recorded = list(self._findings)
         if session_id is None:
-            return list(self._findings)
-        return [f for f in self._findings if f.session_id == session_id]
+            return recorded
+        return [f for f in recorded if f.session_id == session_id]
 
     def violation_count(self) -> int:
-        return len(self._findings)
+        with self._lock:
+            return len(self._findings)
 
 
 def _inputs_from_state(transducer, state):

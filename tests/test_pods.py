@@ -261,6 +261,83 @@ class TestStores:
         # The id becomes free again after closing.
         revived.create_session("alice")
 
+    def test_restart_at_step_0_restores_initial_state(self, tmp_path):
+        """Regression: a never-stepped session resumes at S_0, not at the
+        all-empty state.  Both stores snapshot ``state_facts={}`` before
+        the first record_step, so the restore path must rebuild the
+        transducer's initial state (which need not be empty)."""
+        from repro.core.schema import TransducerSchema
+        from repro.core.transducer import FunctionalTransducer
+        from repro.relalg.instance import Instance
+        from repro.relalg.schema import DatabaseSchema
+
+        schema = TransducerSchema(
+            DatabaseSchema.of(ping=1),
+            DatabaseSchema.of(seen=1),
+            DatabaseSchema.of(echo=1),
+            DatabaseSchema.of(),
+            (),
+        )
+
+        class Seeded(FunctionalTransducer):
+            def initial_state(self):
+                return Instance(self.schema.state, {"seen": {("seed",)}})
+
+        def make_transducer():
+            return Seeded(
+                schema,
+                lambda inputs, state, db: Instance(
+                    schema.state, {"seen": state["seen"] | inputs["ping"]}
+                ),
+                lambda inputs, state, db: Instance(
+                    schema.outputs, {"echo": state["seen"]}
+                ),
+            )
+
+        for store in (InMemoryStore(), JsonlDirectoryStore(tmp_path / "p")):
+            service = PodService(make_transducer(), {}, store=store)
+            handle = service.create_session("alice")
+            del service  # dies before the session ever stepped
+            revived = PodService(make_transducer(), {}, store=store)
+            session = revived.session(handle)
+            assert session.steps == 0
+            assert session.state["seen"] == frozenset({("seed",)})
+            # The first step behaves exactly as in an uninterrupted run:
+            # the output reads S_0, so the seed row must be visible.
+            result = revived.submit(StepRequest(handle, {"ping": {("x",)}}))
+            assert result.output["echo"] == frozenset({("seed",)})
+
+    def test_session_ids_scans_without_decoding_facts(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: deciding resumability must not replay (and decode
+        the facts of) every event file -- O(lines), not O(total facts)."""
+        import repro.pods.store as store_module
+
+        service = PodService(
+            build_short(), default_database(), store=tmp_path / "pods"
+        )
+        service.create_session("alice")
+        service.run_session("alice", FIGURE1_INPUTS[:2])
+        service.create_session("bob")  # fresh: created record only
+        service.create_session("carol")
+        service.run_session("carol", FIGURE1_INPUTS[:1])
+        service.close_session("carol")
+
+        def boom(encoded):
+            raise AssertionError("session_ids() must not decode facts")
+
+        monkeypatch.setattr(store_module, "_decode_facts", boom)
+        assert service.stored_session_ids() == ["alice", "bob"]
+        monkeypatch.undo()
+        # The cheap scan agrees with the full replay's notion of
+        # resumability, and load() itself still decodes.
+        assert [
+            sid
+            for sid in ("alice", "bob", "carol")
+            if service.store.load(sid) is not None
+        ] == ["alice", "bob"]
+
     def test_sharded_service_with_per_shard_stores(self, tmp_path):
         transducer = build_friendly()
         catalog = CatalogGenerator(seed=3).generate(25)
