@@ -183,7 +183,8 @@ def test_ratio_metrics_picks_speedups_and_ratios():
 def test_repo_records_are_loadable():
     records = load_records(Path(__file__).resolve().parent.parent)
     names = {name for name, _record in records}
-    for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19"):
+    for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19",
+                     "BENCH_e20", "BENCH_e21"):
         assert any(name.startswith(expected) for name in names)
     # The table and chart must render whatever mix of schemas exists,
     # headline or not.
@@ -237,6 +238,24 @@ def test_e19_record_claims_hold():
     assert record["offline"]["verdicts_agree"] is True
     assert 0.0 < record["audited_vs_unaudited_ratio"] <= 1.5
     assert record["audit"]["violations"] == 0
+
+
+def test_e21_record_claims_hold():
+    """The committed E21 record must show the 100k-created / <=1k-resident
+    run completing with bounded RSS at >= 0.8x the all-resident steps/s
+    (PR 6's acceptance criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e21.json").read_text())
+    assert record["workload"]["sessions"] >= 100_000
+    bounded = record["headline"]["bounded"]
+    all_resident = record["headline"]["all_resident"]
+    assert 0 < bounded["max_resident"] <= 1_000
+    assert bounded["resident_sessions"] <= bounded["max_resident"]
+    assert bounded["rehydrations"] > 0
+    assert record["bounded_vs_all_resident_ratio"] >= 0.8
+    # The bound is what caps memory: the bounded peak must undercut the
+    # all-resident peak, and both must be recorded in the JSON.
+    assert 0 < bounded["ru_maxrss_mb"] < all_resident["ru_maxrss_mb"]
 
 
 # -- script entry point -------------------------------------------------------

@@ -39,6 +39,17 @@ class SessionError(ReproError):
     """
 
 
+class StoreError(SessionError):
+    """A session store failed as a storage backend.
+
+    Raised by :mod:`repro.pods` store implementations for backend-level
+    failures: using a store after :meth:`close`, an unusable store
+    target passed to ``open_store``, a destination that cannot import
+    snapshots, or a corrupt/locked SQLite file.  Subclasses
+    :class:`SessionError` so existing lifecycle handlers keep working.
+    """
+
+
 class ShardError(SessionError):
     """Session routing across shards failed.
 

@@ -12,8 +12,13 @@ package is that runtime's service layer:
 * :mod:`repro.pods.session` -- one run in progress
   (:class:`Session`), restorable from a snapshot;
 * :mod:`repro.pods.store` -- the durability seam
-  (:class:`SessionStore`), with in-memory and JSONL-directory
-  implementations;
+  (:class:`SessionStore`), with in-memory, JSONL-directory, and
+  single-file SQLite (:mod:`repro.pods.sqlite_store`) implementations,
+  plus :func:`migrate_sessions` to move sessions between them;
+* :mod:`repro.pods.cache` -- the hot-session LRU cache bounding how
+  many live sessions stay resident (``max_resident_sessions=`` /
+  ``REPRO_MAX_RESIDENT``); evicted sessions rehydrate from the store
+  on their next request with identical observable behavior;
 * :mod:`repro.pods.service` -- :class:`PodService` (one engine) and
   :class:`ShardedPodService` (N engines behind stable hash routing),
   both funneling all traffic through ``submit()`` / ``submit_batch()``;
@@ -49,6 +54,11 @@ from repro.pods.api import (
     StepRequest,
     StepResult,
 )
+from repro.pods.cache import (
+    MAX_RESIDENT_ENV,
+    LruSessionCache,
+    max_resident_sessions,
+)
 from repro.pods.metrics import RuntimeMetrics
 from repro.pods.service import (
     CONCURRENCY_ENV,
@@ -58,10 +68,15 @@ from repro.pods.service import (
     shard_of,
 )
 from repro.pods.session import Session, SessionLog
+from repro.pods.sqlite_store import SqliteStore
 from repro.pods.store import (
     InMemoryStore,
     JsonlDirectoryStore,
+    LegacySessionStore,
+    MigrationReport,
     SessionStore,
+    StoreLifecycle,
+    StoreStats,
     migrate_sessions,
     open_store,
 )
@@ -73,6 +88,9 @@ __all__ = [
     "StepResult",
     "RuntimeMetrics",
     "CONCURRENCY_ENV",
+    "MAX_RESIDENT_ENV",
+    "LruSessionCache",
+    "max_resident_sessions",
     "PodService",
     "ShardedPodService",
     "batch_concurrency",
@@ -80,8 +98,13 @@ __all__ = [
     "Session",
     "SessionLog",
     "SessionStore",
+    "LegacySessionStore",
+    "StoreLifecycle",
+    "StoreStats",
+    "MigrationReport",
     "InMemoryStore",
     "JsonlDirectoryStore",
+    "SqliteStore",
     "migrate_sessions",
     "open_store",
 ]

@@ -45,6 +45,9 @@ class RuntimeMetrics:
     sessions_created: int = 0
     sessions_resumed: int = 0
     sessions_closed: int = 0
+    sessions_evicted: int = 0
+    sessions_rehydrated: int = 0
+    store_flushes: int = 0
     steps_executed: int = 0
     step_seconds_total: float = 0.0
     step_seconds_min: float = field(default=float("inf"))
@@ -74,6 +77,21 @@ class RuntimeMetrics:
     def record_close(self) -> None:
         with self._lock:
             self.sessions_closed += 1
+
+    def record_eviction(self) -> None:
+        """A resident session was evicted to the store (LRU cache)."""
+        with self._lock:
+            self.sessions_evicted += 1
+
+    def record_rehydration(self) -> None:
+        """An evicted session was restored on its next request."""
+        with self._lock:
+            self.sessions_rehydrated += 1
+
+    def record_flush(self) -> None:
+        """An explicit store flush was requested through the service."""
+        with self._lock:
+            self.store_flushes += 1
 
     def record_step(self, seconds: float) -> None:
         with self._lock:
@@ -123,6 +141,9 @@ class RuntimeMetrics:
             total.sessions_created += p.sessions_created
             total.sessions_resumed += p.sessions_resumed
             total.sessions_closed += p.sessions_closed
+            total.sessions_evicted += p.sessions_evicted
+            total.sessions_rehydrated += p.sessions_rehydrated
+            total.store_flushes += p.store_flushes
             total.steps_executed += p.steps_executed
             total.step_seconds_total += p.step_seconds_total
             total.plans_compiled += p.plans_compiled
@@ -164,6 +185,9 @@ class RuntimeMetrics:
             "sessions_created": self.sessions_created,
             "sessions_resumed": self.sessions_resumed,
             "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "sessions_rehydrated": self.sessions_rehydrated,
+            "store_flushes": self.store_flushes,
             "steps_executed": self.steps_executed,
             "elapsed_seconds": round(self.elapsed(), 6),
             "steps_per_second": round(self.steps_per_second(), 3),

@@ -13,6 +13,18 @@ the service writes every lifecycle event through the store and lazily
 restores sessions from it, so a service recreated over a durable store
 transparently resumes sessions created by a previous process.
 
+Residency is bounded by an :class:`~repro.pods.cache.LruSessionCache`
+(``max_resident_sessions=``, or :data:`~repro.pods.cache.MAX_RESIDENT_ENV`
+from the environment): because every step is written through to the
+store before its result is returned, evicting an idle session is just
+dropping the in-memory :class:`~repro.pods.session.Session` -- nothing
+to write -- and the next :class:`~repro.pods.api.StepRequest` for it
+rehydrates from the store through the same restore path a process
+restart uses.  Logs, snapshots, and outputs are identical whether a
+session was evicted zero or N times; sessions are pinned in the cache
+for the duration of a step so concurrent batch workers never evict a
+session mid-step.
+
 A :class:`ShardedPodService` presents the same API over N internal
 single-shard services, hash-routing each session id with a *stable*
 hash (:func:`shard_of`, CRC-32), so the same id lands on the same shard
@@ -56,6 +68,8 @@ from repro.pods.api import (
     StepResult,
     session_id_of,
 )
+from repro.pods.cache import LruSessionCache
+from repro.pods.cache import max_resident_sessions as _resolve_max_resident
 from repro.pods.metrics import RuntimeMetrics
 from repro.pods.session import Session, SessionLog
 from repro.pods.store import SessionStore, open_store
@@ -284,12 +298,23 @@ class _PodApi:
 class PodService(_PodApi):
     """Create, step, persist, and retire sessions over a shared database.
 
-    ``store`` may be a :class:`~repro.pods.store.SessionStore`, a
-    directory path (opens a
-    :class:`~repro.pods.store.JsonlDirectoryStore`), or ``None`` for the
+    ``store`` may be a :class:`~repro.pods.store.SessionStore`, a path
+    (a directory opens a
+    :class:`~repro.pods.store.JsonlDirectoryStore`; a
+    ``.sqlite``/``.sqlite3``/``.db`` file opens a
+    :class:`~repro.pods.sqlite_store.SqliteStore`), or ``None`` for the
     in-memory store.  ``keep_logs=False`` turns off per-session log
     retention (and log persistence) for load-generation scenarios where
     only throughput matters.
+
+    ``max_resident_sessions`` bounds how many live sessions stay in
+    memory at once (``None`` reads
+    :data:`~repro.pods.cache.MAX_RESIDENT_ENV`, then defaults to
+    unlimited): beyond the bound, least-recently-used idle sessions are
+    evicted to the store and transparently rehydrated on their next
+    request.  The knob trades a rehydration (one store read plus a step
+    context rebuild) against resident memory; observable behavior --
+    logs, snapshots, outputs, audit findings -- is unchanged.
     """
 
     def __init__(
@@ -302,6 +327,7 @@ class PodService(_PodApi):
         shard_index: int = 0,
         id_prefix: str = "pod",
         auditor: "OnlineAuditor | None" = None,
+        max_resident_sessions: "int | None" = None,
     ) -> None:
         self._transducer = transducer
         self._database = transducer.coerce_database(database)
@@ -312,12 +338,22 @@ class PodService(_PodApi):
         self._keep_logs = keep_logs
         self._shard_index = shard_index
         self._id_prefix = id_prefix
-        self._sessions: dict[str, Session] = {}
+        self._sessions = LruSessionCache(
+            _resolve_max_resident(max_resident_sessions)
+        )
+        # Ids this service instance evicted and has not yet rehydrated
+        # or closed.  session_ids() unions it with the residents so the
+        # set of *open* sessions is residency-independent; session()
+        # consults it to count a restore as a rehydration rather than a
+        # cross-process resume.
+        self._evicted: set[str] = set()
+        self._evicted_lock = threading.Lock()
         self._next_id = 0
         # Guards session creation and lazy restore: concurrent batch
         # workers touching distinct sessions must not race the session
         # map or restore the same session twice.  submit() reads the
-        # map lock-free on its hot path (see session()).
+        # cache lock-free-in-spirit on its hot path (one short cache
+        # lock, never the service lock -- see session()).
         self._lock = threading.Lock()
         self.metrics = RuntimeMetrics()
         # Online auditing (repro.verify.api.OnlineAuditor): every step
@@ -344,6 +380,11 @@ class PodService(_PodApi):
     @property
     def auditor(self) -> "OnlineAuditor | None":
         return self._auditor
+
+    @property
+    def max_resident_sessions(self) -> "int | None":
+        """The residency bound in force (None = unlimited)."""
+        return self._sessions.max_resident
 
     def audit_findings(self, session: "SessionHandle | str | None" = None):
         """Recorded audit findings (empty without an attached auditor)."""
@@ -380,13 +421,13 @@ class PodService(_PodApi):
                 self._database,
                 keep_log=self._keep_logs,
             )
-            # Publication into _sessions comes LAST: session() reads the
-            # map lock-free, so the moment another thread can see the
-            # session (and submit to it) its created record and auditor
-            # registration must already exist -- a record_step landing
-            # before record_created would corrupt the event file, and an
-            # observe_step before registration would silently skip the
-            # audit.
+            # Publication into the cache comes LAST: session() reads the
+            # cache without the service lock, so the moment another
+            # thread can see the session (and submit to it) its created
+            # record and auditor registration must already exist -- a
+            # record_step landing before record_created would corrupt
+            # the event file, and an observe_step before registration
+            # would silently skip the audit.
             self._store.record_created(session_id)
             if self._auditor is not None:
                 self._auditor.register_session(session_id)
@@ -394,7 +435,7 @@ class PodService(_PodApi):
             # Plan compile/reuse happened while building the session's
             # step context; later submit() calls record only their delta.
             self.metrics.record_eval(session.eval_counters())
-            self._sessions[session_id] = session
+            self._note_evictions(self._sessions.put(session_id, session))
         return SessionHandle(session_id, self._shard_index)
 
     def create_sessions(self, count: int) -> list[SessionHandle]:
@@ -438,13 +479,73 @@ class PodService(_PodApi):
             log=log,
         )
 
+    def _note_evictions(
+        self, evictions: "list[tuple[str, Session]]"
+    ) -> None:
+        """Bookkeep cache evictions: remember the ids, bump the counter.
+
+        Nothing is written to the store -- submit() already wrote each
+        step through before returning, so an idle session's snapshot is
+        durable by construction and eviction is purely dropping memory.
+        """
+        if not evictions:
+            return
+        with self._evicted_lock:
+            for session_id, _session in evictions:
+                self._evicted.add(session_id)
+        for _ in evictions:
+            self.metrics.record_eviction()
+
+    def _restore_into_cache(self, session_id: str, *, pin: bool) -> Session:
+        """Rebuild a session from the store (service lock held)."""
+        snapshot = self._store.load(session_id)
+        if snapshot is None:
+            raise SessionError(f"no such session: {session_id!r}")
+        restored = self._restore(snapshot)
+        with self._evicted_lock:
+            rehydration = session_id in self._evicted
+            self._evicted.discard(session_id)
+        if self._auditor is not None and not self._auditor.is_registered(
+            session_id
+        ):
+            # A cross-process resume: the auditor gets the *stored* log
+            # prefix even when this service runs with keep_logs=False,
+            # because the prefix is the resume point of every future
+            # finding's replay trace.  A rehydration skips this whole
+            # block -- the audit (monitors, history, findings) survived
+            # the eviction inside the auditor, keyed by session id.
+            schema = self._transducer.schema
+            self._auditor.register_session(
+                session_id,
+                steps=snapshot.steps,
+                log=tuple(
+                    Instance(schema.log_schema, dict(entry))
+                    for entry in snapshot.log_facts
+                ),
+                state=restored.state,
+            )
+        if rehydration:
+            self.metrics.record_rehydration()
+        else:
+            self.metrics.record_resume()
+        self.metrics.record_eval(restored.eval_counters())
+        # Published last: cache readers must only see a session whose
+        # auditor registration is complete.  pin=True makes the insert
+        # atomic with the caller's pin, so another thread's surplus
+        # shedding cannot evict the session before its step runs.
+        self._note_evictions(
+            self._sessions.put(session_id, restored, pin=pin)
+        )
+        return restored
+
     def session(self, session: SessionHandle | str) -> Session:
         """The live session for a handle, restoring from the store.
 
         A session created by a previous service instance over the same
-        store is rebuilt from its snapshot on first touch; unknown ids
-        raise :class:`~repro.errors.SessionError`.  The hot path (a
-        live session) is a lock-free dictionary read; the restore path
+        store -- or evicted by this one's hot-session cache -- is
+        rebuilt from its snapshot on first touch; unknown ids raise
+        :class:`~repro.errors.SessionError`.  The hot path (a resident
+        session) is one cache-lock'd dictionary read; the restore path
         is double-checked under the service lock so concurrent first
         touches rebuild a session exactly once.
         """
@@ -456,31 +557,18 @@ class PodService(_PodApi):
             live = self._sessions.get(session_id)
             if live is not None:
                 return live
-            snapshot = self._store.load(session_id)
-            if snapshot is None:
-                raise SessionError(f"no such session: {session_id!r}")
-            restored = self._restore(snapshot)
-            if self._auditor is not None:
-                # The auditor gets the *stored* log prefix even when
-                # this service runs with keep_logs=False: the prefix is
-                # the resume point of every future finding's replay
-                # trace.
-                schema = self._transducer.schema
-                self._auditor.register_session(
-                    session_id,
-                    steps=snapshot.steps,
-                    log=tuple(
-                        Instance(schema.log_schema, dict(entry))
-                        for entry in snapshot.log_facts
-                    ),
-                    state=restored.state,
-                )
-            self.metrics.record_resume()
-            self.metrics.record_eval(restored.eval_counters())
-            # Published last: lock-free session() readers must only see
-            # a session whose auditor registration is complete.
-            self._sessions[session_id] = restored
-        return restored
+            return self._restore_into_cache(session_id, pin=False)
+
+    def _pinned_session(self, session_id: str) -> Session:
+        """The live session, pinned against eviction for one step."""
+        session = self._sessions.pin(session_id)
+        if session is not None:
+            return session
+        with self._lock:
+            session = self._sessions.pin(session_id)
+            if session is not None:
+                return session
+            return self._restore_into_cache(session_id, pin=True)
 
     def has_session(self, session: SessionHandle | str) -> bool:
         session_id = session_id_of(session)
@@ -490,8 +578,20 @@ class PodService(_PodApi):
         )
 
     def session_ids(self) -> list[str]:
-        """Ids of all live (in-process) sessions, sorted."""
-        return sorted(self._sessions)
+        """Ids of all open sessions of this service, sorted.
+
+        Residency-independent: an evicted session is still open -- its
+        state lives in the store and the next request rehydrates it --
+        so it is listed alongside the resident ones.
+        """
+        with self._evicted_lock:
+            open_ids = set(self._evicted)
+        open_ids.update(self._sessions.ids())
+        return sorted(open_ids)
+
+    def resident_session_ids(self) -> list[str]:
+        """Ids of the sessions currently held in memory, sorted."""
+        return self._sessions.ids()
 
     def stored_session_ids(self) -> list[str]:
         """Ids of all resumable sessions known to the store, sorted."""
@@ -502,15 +602,32 @@ class PodService(_PodApi):
         live = self.session(session)
         session_id = session_id_of(session)
         with self._lock:
-            # Re-check under the lock: two racing closes must not leak
-            # a raw KeyError out of the loser.
-            if self._sessions.pop(session_id, None) is None:
+            popped = self._sessions.pop(session_id)
+            with self._evicted_lock:
+                was_evicted = session_id in self._evicted
+                self._evicted.discard(session_id)
+            # Re-check under the lock: two racing closes must not both
+            # succeed.  (The session may legitimately be non-resident
+            # here if it was evicted between session() and this lock.)
+            if popped is None and not was_evicted:
                 raise SessionError(f"no such session: {session_id!r}")
         self._store.record_closed(session_id)
         if self._auditor is not None:
             self._auditor.forget_session(session_id)
         self.metrics.record_close()
         return live.log()
+
+    def flush(self) -> int:
+        """Flush the store's write-behind buffer (if it has one).
+
+        Returns how many buffered events were flushed (0 for
+        write-through stores).  Stores predating the lifecycle API are
+        treated as write-through.
+        """
+        flush = getattr(self._store, "flush", None)
+        flushed = flush() if flush is not None else 0
+        self.metrics.record_flush()
+        return flushed
 
     # -- traffic ---------------------------------------------------------------
 
@@ -520,56 +637,73 @@ class PodService(_PodApi):
         The single entry point of the runtime: every driver above
         (``submit_batch``, ``run_session``, ``drive``, the commerce
         workload generator, the legacy engine shim) funnels through
-        here, and the store write-through happens here.
+        here, and the store write-through happens here.  The session is
+        pinned in the hot-session cache for the duration of the step
+        (rehydrating it first if it was evicted), so concurrent batch
+        workers shedding cache surplus can never drop a session whose
+        step -- or step write-through, or audit -- is still in flight.
         """
-        session = self.session(request.session)
-        before = session.eval_counters()
-        state_before = session.state
-        started = time.perf_counter()
-        output = session.step(request.inputs)
-        elapsed = time.perf_counter() - started
-        self.metrics.record_step(elapsed)
-        self.metrics.record_eval(session.eval_counters() - before)
-        self._store.record_step(
-            session.session_id,
-            session.steps,
-            session.state,
-            session.last_log_entry if self._keep_logs else None,
-        )
-        result = StepResult(
-            session=SessionHandle(session.session_id, self._shard_index),
-            step=session.steps,
-            output=output,
-            latency_seconds=elapsed,
-        )
-        if self._auditor is not None:
-            # The audit runs after the step is applied and persisted:
-            # an audit is a judgment on what happened, not admission
-            # control, so even a strict auditor never leaves the store
-            # and the session disagreeing about the step count.
-            outcome = self._auditor.observe_step(
+        session_id = session_id_of(request.session)
+        session = self._pinned_session(session_id)
+        try:
+            before = session.eval_counters()
+            state_before = session.state
+            started = time.perf_counter()
+            output = session.step(request.inputs)
+            elapsed = time.perf_counter() - started
+            self.metrics.record_step(elapsed)
+            self.metrics.record_eval(session.eval_counters() - before)
+            self._store.record_step(
                 session.session_id,
-                step=session.steps,
-                inputs=session.last_inputs,
-                output=output,
-                state_before=state_before,
-                state_after=session.state,
-                log_entry=session.last_log_entry if self._keep_logs else None,
+                session.steps,
+                session.state,
+                session.last_log_entry if self._keep_logs else None,
             )
-            self.metrics.record_audit(outcome)
-            if self._auditor.strict and outcome.findings:
-                raise AuditViolation(
-                    f"session {session.session_id!r} step {session.steps}: "
-                    + "; ".join(f.violation for f in outcome.findings),
-                    findings=outcome.findings,
+            result = StepResult(
+                session=SessionHandle(session.session_id, self._shard_index),
+                step=session.steps,
+                output=output,
+                latency_seconds=elapsed,
+            )
+            if self._auditor is not None:
+                # The audit runs after the step is applied and persisted:
+                # an audit is a judgment on what happened, not admission
+                # control, so even a strict auditor never leaves the store
+                # and the session disagreeing about the step count.
+                outcome = self._auditor.observe_step(
+                    session.session_id,
+                    step=session.steps,
+                    inputs=session.last_inputs,
+                    output=output,
+                    state_before=state_before,
+                    state_after=session.state,
+                    log_entry=(
+                        session.last_log_entry if self._keep_logs else None
+                    ),
                 )
+                self.metrics.record_audit(outcome)
+                if self._auditor.strict and outcome.findings:
+                    raise AuditViolation(
+                        f"session {session.session_id!r} "
+                        f"step {session.steps}: "
+                        + "; ".join(f.violation for f in outcome.findings),
+                        findings=outcome.findings,
+                    )
+        finally:
+            # Unpinning may shed cache surplus deferred while every
+            # entry was pinned.
+            self._note_evictions(self._sessions.unpin(session_id))
         return result
 
     def logs(self) -> list[SessionLog]:
-        """Logs of all live sessions, ordered by session id."""
+        """Logs of all open sessions, ordered by session id.
+
+        Covers evicted sessions too (rehydrating each on touch), so the
+        view is independent of cache pressure.
+        """
         return [
-            self._sessions[session_id].log()
-            for session_id in sorted(self._sessions)
+            self.session(session_id).log()
+            for session_id in self.session_ids()
         ]
 
 
@@ -595,12 +729,17 @@ class ShardedPodService(_PodApi):
         store_factory: "Callable[[int], SessionStore | str | None] | None" = None,
         id_prefix: str = "pod",
         auditor_factory: "Callable[[int], OnlineAuditor | None] | None" = None,
+        max_resident_sessions: "int | None" = None,
     ) -> None:
         if shards < 1:
             raise ShardError(f"shard count must be >= 1, got {shards}")
         # Coerce once so all shards share one database instance and
         # therefore one cached FactStore in the transducer.
         shared = transducer.coerce_database(database)
+        # The residency bound is per shard (each shard's cache is its
+        # own working set); resolve once so every shard agrees even if
+        # the environment changes mid-construction.
+        resident = _resolve_max_resident(max_resident_sessions)
         self._shards = [
             PodService(
                 transducer,
@@ -610,6 +749,7 @@ class ShardedPodService(_PodApi):
                 shard_index=index,
                 id_prefix=id_prefix,
                 auditor=auditor_factory(index) if auditor_factory else None,
+                max_resident_sessions=resident if resident else 0,
             )
             for index in range(shards)
         ]
@@ -673,6 +813,12 @@ class ShardedPodService(_PodApi):
             ids.extend(shard.session_ids())
         return sorted(ids)
 
+    def resident_session_ids(self) -> list[str]:
+        ids: list[str] = []
+        for shard in self._shards:
+            ids.extend(shard.resident_session_ids())
+        return sorted(ids)
+
     def stored_session_ids(self) -> list[str]:
         ids: list[str] = []
         for shard in self._shards:
@@ -681,6 +827,10 @@ class ShardedPodService(_PodApi):
 
     def close_session(self, session: SessionHandle | str) -> SessionLog:
         return self._route(session).close_session(session_id_of(session))
+
+    def flush(self) -> int:
+        """Flush every shard's store; returns total events flushed."""
+        return sum(shard.flush() for shard in self._shards)
 
     # -- traffic ---------------------------------------------------------------
 

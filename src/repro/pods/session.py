@@ -24,6 +24,7 @@ from typing import Iterable
 from repro.core.run import log_of_step
 from repro.core.transducer import InputLike, RelationalTransducer
 from repro.datalog.plan import EvalCounters
+from repro.pods.api import SessionSnapshot, facts_of
 from repro.relalg.instance import Instance
 
 
@@ -133,6 +134,23 @@ class Session:
     def log(self) -> SessionLog:
         """The session's log so far (empty when ``keep_log`` is off)."""
         return SessionLog(self.session_id, tuple(self._log))
+
+    def snapshot(self) -> SessionSnapshot:
+        """This session's persistent state, in plain-facts wire form.
+
+        Exactly what a :class:`~repro.pods.store.SessionStore` would
+        reproduce on :meth:`load` after this session's last recorded
+        step: a restored session built from it continues the run as if
+        the process had never stopped.  The hot-session cache relies on
+        this equivalence -- evicting a session and rehydrating it from
+        the store is observationally the same as keeping it resident.
+        """
+        return SessionSnapshot(
+            str(self.session_id),
+            self._steps,
+            facts_of(self._state),
+            tuple(facts_of(entry) for entry in self._log),
+        )
 
     def eval_counters(self) -> EvalCounters:
         """This session's cumulative plan/evaluation counters.

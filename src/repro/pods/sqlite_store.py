@@ -1,0 +1,336 @@
+"""A single-file transactional SessionStore backed by SQLite.
+
+The JSONL store burns one file (and one directory entry) per session,
+which dies at a few hundred thousand pods; :class:`SqliteStore` keeps
+every session of a service in one database file -- the byoda
+``datacache/kv_sqlite.py`` shape -- with two tables:
+
+* ``snapshots`` -- one row per open session: its step count and the
+  cumulative state (the load-bearing record, restated every step just
+  as the JSONL store's ``step`` records restate it, but as an in-place
+  UPDATE instead of an append);
+* ``events`` -- one row per *logged* step: the step's log entry, keyed
+  ``(session_id, step)``.  Services running ``keep_logs=False`` write
+  no event rows at all, matching the JSONL semantics of persisting
+  only state and step count.
+
+The file is opened in WAL mode so readers never block the writer, and
+a ``load`` during heavy stepping sees a consistent snapshot.  The
+wire format of facts is exactly the JSONL store's
+(:func:`~repro.pods.store._encode_facts` sorted-row JSON), so
+snapshots are byte-identical across the two backends and
+:func:`~repro.pods.store.migrate_sessions` moves sessions either way.
+
+**Durability knob.**  Per-step fsyncs would bottleneck hot-path
+stepping, so writes are governed by ``durability=``:
+
+* ``"full"`` -- ``synchronous=FULL``, one committed transaction per
+  recorded event: a power loss loses nothing ever acknowledged;
+* ``"step"`` (default) -- ``synchronous=NORMAL`` under WAL, one commit
+  per event: crash-of-the-process loses nothing, power loss can lose
+  the tail of the WAL but never corrupts the database;
+* ``"batched"`` -- write-behind: events buffer in memory and commit as
+  one transaction every ``flush_every`` events, on any read
+  (``load``/``session_ids``/``stats`` -- read-your-writes always
+  holds), on :meth:`flush`, and on :meth:`close`.  A crash loses at
+  most the unflushed tail; the database itself stays consistent.
+
+All operations are serialized by one internal lock (SQLite connections
+are not thread-safe, and the per-event work is tiny next to a datalog
+step), which also gives the per-session atomic, in-order write
+guarantee of the :class:`~repro.pods.store.SessionStore` contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.errors import SessionError, StoreError
+from repro.pods.api import SessionSnapshot, facts_of
+from repro.pods.store import (
+    StoreLifecycle,
+    StoreStats,
+    _decode_facts,
+    _encode_facts,
+)
+
+DURABILITY_MODES = ("full", "step", "batched")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS snapshots (
+    session_id TEXT PRIMARY KEY,
+    steps      INTEGER NOT NULL DEFAULT 0,
+    state      TEXT
+);
+CREATE TABLE IF NOT EXISTS events (
+    session_id TEXT    NOT NULL,
+    step       INTEGER NOT NULL,
+    log        TEXT    NOT NULL,
+    PRIMARY KEY (session_id, step)
+) WITHOUT ROWID;
+"""
+
+
+class SqliteStore(StoreLifecycle):
+    """Every session of a service in one transactional SQLite file.
+
+    ``path`` is the database file (created, with parents, on first
+    open); ``durability`` and ``flush_every`` are documented in the
+    module docstring.  The store is also usable as a context manager::
+
+        with SqliteStore(tmp / "pods.sqlite", durability="batched") as s:
+            service = PodService(transducer, db, store=s)
+            ...
+        # exiting flushed and closed the file
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        durability: str = "step",
+        flush_every: int = 256,
+    ) -> None:
+        if durability not in DURABILITY_MODES:
+            raise StoreError(
+                f"unknown durability {durability!r}: "
+                f"choose one of {DURABILITY_MODES}"
+            )
+        if flush_every < 1:
+            raise StoreError(f"flush_every must be >= 1, got {flush_every}")
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self.durability = durability
+        self.flush_every = flush_every
+        self._lock = threading.RLock()
+        # (sql, params) statements not yet committed (batched mode).
+        self._pending: list[tuple[str, tuple]] = []
+        self._pending_events = 0
+        self._closed = False
+        try:
+            self._conn = sqlite3.connect(
+                str(self._path), check_same_thread=False
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(
+                "PRAGMA synchronous="
+                + ("FULL" if durability == "full" else "NORMAL")
+            )
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"cannot open SQLite store at {self._path}: {error}"
+            ) from error
+
+    @property
+    def path(self) -> Path:
+        """The database file (exposed for inspection)."""
+        return self._path
+
+    # -- internal plumbing -----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"SQLite store at {self._path} is closed")
+
+    def _execute(self, statements: list[tuple[str, tuple]]) -> None:
+        """Apply one event's statements per the durability mode.
+
+        Called with the lock held.  ``full``/``step`` commit
+        immediately; ``batched`` buffers and commits on threshold.
+        """
+        if self.durability == "batched":
+            self._pending.extend(statements)
+            self._pending_events += 1
+            if self._pending_events >= self.flush_every:
+                self._flush_locked()
+            return
+        try:
+            for sql, params in statements:
+                self._conn.execute(sql, params)
+            self._conn.commit()
+        except sqlite3.Error as error:
+            self._conn.rollback()
+            raise StoreError(f"SQLite write failed: {error}") from error
+
+    def _flush_locked(self) -> int:
+        if not self._pending:
+            return 0
+        try:
+            for sql, params in self._pending:
+                self._conn.execute(sql, params)
+            self._conn.commit()
+        except sqlite3.Error as error:
+            self._conn.rollback()
+            raise StoreError(f"SQLite flush failed: {error}") from error
+        flushed = self._pending_events
+        self._pending.clear()
+        self._pending_events = 0
+        return flushed
+
+    # -- the SessionStore recording seam ---------------------------------------
+
+    def record_created(self, session_id: str) -> None:
+        self._check_open()
+        with self._lock:
+            # Recreating an id truncates its history, exactly as the
+            # JSONL store truncates the event file.
+            self._execute([
+                ("DELETE FROM events WHERE session_id = ?", (session_id,)),
+                (
+                    "INSERT OR REPLACE INTO snapshots "
+                    "(session_id, steps, state) VALUES (?, 0, NULL)",
+                    (session_id,),
+                ),
+            ])
+
+    def record_step(self, session_id, steps, state, log_entry) -> None:
+        self._check_open()
+        # Encode outside the lock: instances are immutable, and the
+        # JSON encoding dominates the per-event cost.
+        state_json = json.dumps(
+            _encode_facts(facts_of(state)), sort_keys=True
+        )
+        statements = [
+            (
+                "UPDATE snapshots SET steps = ?, state = ? "
+                "WHERE session_id = ?",
+                (steps, state_json, session_id),
+            ),
+        ]
+        if log_entry is not None:
+            log_json = json.dumps(
+                _encode_facts(facts_of(log_entry)), sort_keys=True
+            )
+            statements.append((
+                "INSERT OR REPLACE INTO events (session_id, step, log) "
+                "VALUES (?, ?, ?)",
+                (session_id, steps, log_json),
+            ))
+        with self._lock:
+            self._execute(statements)
+
+    def record_closed(self, session_id: str) -> None:
+        self._check_open()
+        with self._lock:
+            # Closed sessions are dropped outright (no tombstone): the
+            # API only requires that they stop being resumable, and
+            # rows, unlike the JSONL store's files, are free to delete.
+            self._execute([
+                ("DELETE FROM events WHERE session_id = ?", (session_id,)),
+                ("DELETE FROM snapshots WHERE session_id = ?", (session_id,)),
+            ])
+
+    def import_snapshot(self, snapshot: SessionSnapshot) -> None:
+        """Adopt a session from another store (plain-facts form)."""
+        self._check_open()
+        if self.load(snapshot.session_id) is not None:
+            raise SessionError(
+                f"session already exists: {snapshot.session_id!r}"
+            )
+        state_json = json.dumps(
+            _encode_facts(snapshot.state_facts), sort_keys=True
+        )
+        statements = [(
+            "INSERT INTO snapshots (session_id, steps, state) "
+            "VALUES (?, ?, ?)",
+            (snapshot.session_id, snapshot.steps, state_json),
+        )]
+        for step, entry in enumerate(snapshot.log_facts, start=1):
+            statements.append((
+                "INSERT INTO events (session_id, step, log) VALUES (?, ?, ?)",
+                (
+                    snapshot.session_id,
+                    step,
+                    json.dumps(_encode_facts(entry), sort_keys=True),
+                ),
+            ))
+        with self._lock:
+            self._execute(statements)
+
+    # -- reads (always read-your-writes) ---------------------------------------
+
+    def load(self, session_id: str) -> SessionSnapshot | None:
+        self._check_open()
+        with self._lock:
+            self._flush_locked()
+            row = self._conn.execute(
+                "SELECT steps, state FROM snapshots WHERE session_id = ?",
+                (session_id,),
+            ).fetchone()
+            if row is None:
+                return None
+            steps, state_json = row
+            log_rows = self._conn.execute(
+                "SELECT log FROM events WHERE session_id = ? ORDER BY step",
+                (session_id,),
+            ).fetchall()
+        state_facts = (
+            _decode_facts(json.loads(state_json))
+            if state_json is not None
+            else {}
+        )
+        return SessionSnapshot(
+            session_id,
+            steps,
+            state_facts,
+            tuple(_decode_facts(json.loads(log)) for (log,) in log_rows),
+        )
+
+    def session_ids(self) -> list[str]:
+        self._check_open()
+        with self._lock:
+            self._flush_locked()
+            rows = self._conn.execute(
+                "SELECT session_id FROM snapshots ORDER BY session_id"
+            ).fetchall()
+        return [session_id for (session_id,) in rows]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Commit all buffered events; returns how many were pending."""
+        self._check_open()
+        with self._lock:
+            return self._flush_locked()
+
+    def close(self) -> None:
+        """Flush and close the database file; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            self._closed = True
+            self._conn.close()
+
+    def stats(self) -> StoreStats:
+        """``events`` counts snapshot rows plus log rows; closed
+        sessions are deleted outright, so ``sessions`` equals
+        ``open_sessions`` for this backend."""
+        self._check_open()
+        with self._lock:
+            self._flush_locked()
+            # Checkpoint so bytes_on_disk reflects the database file,
+            # not an arbitrarily long WAL tail.
+            self._conn.execute("PRAGMA wal_checkpoint(PASSIVE)")
+            (sessions,) = self._conn.execute(
+                "SELECT COUNT(*) FROM snapshots"
+            ).fetchone()
+            (log_rows,) = self._conn.execute(
+                "SELECT COUNT(*) FROM events"
+            ).fetchone()
+        bytes_on_disk = 0
+        for suffix in ("", "-wal", "-shm"):
+            sibling = Path(str(self._path) + suffix)
+            if sibling.exists():
+                bytes_on_disk += sibling.stat().st_size
+        return StoreStats(
+            sessions=sessions,
+            open_sessions=sessions,
+            bytes_on_disk=bytes_on_disk,
+            events=sessions + log_rows,
+        )

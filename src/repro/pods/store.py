@@ -3,7 +3,7 @@
 A :class:`SessionStore` receives every lifecycle event of every session
 (:meth:`record_created`, :meth:`record_step`, :meth:`record_closed`)
 and can reproduce any live session as a
-:class:`~repro.pods.api.SessionSnapshot`.  Two implementations:
+:class:`~repro.pods.api.SessionSnapshot`.  Three implementations:
 
 * :class:`InMemoryStore` keeps snapshots in process memory -- the
   behavior of the PR 1 engine, plus the ability to hand a session from
@@ -12,46 +12,129 @@ and can reproduce any live session as a
   per-session file, so a service can be killed at any step boundary,
   recreated over the same directory, and resume every session exactly
   where it stopped -- the byoda data-pod shape: the pod's state outlives
-  the serving process.
+  the serving process;
+* :class:`~repro.pods.sqlite_store.SqliteStore` keeps every session in
+  one transactional SQLite file (events + snapshots tables, WAL mode,
+  optional write-behind batching) -- the tier that scales past "one
+  file per session".
 
-The JSONL format stores relation facts as sorted lists of rows; values
-must be JSON-representable (the repro domain uses strings and numbers).
-Rows round-trip back to tuples (nested sequences included) on load.
+The JSON wire format stores relation facts as sorted lists of rows;
+values must be JSON-representable (the repro domain uses strings and
+numbers).  Rows round-trip back to tuples (nested sequences included)
+on load.
 
-Both stores serialize their writes per session: record events for one
+All stores serialize their writes per session: record events for one
 session are applied atomically and in call order even when they arrive
 from different threads (the workers of a concurrent ``submit_batch``
 own disjoint sessions, but nothing stops callers from submitting the
 same session from their own threads -- the store stays consistent
 either way; *ordering* across racing writers of one session remains the
 caller's contract).
+
+Beyond the recording seam, every store is a managed resource: it
+exposes :meth:`~StoreLifecycle.flush` (drain any write-behind buffer;
+returns the number of events persisted), :meth:`~StoreLifecycle.close`
+(flush and release the backend), works as a context manager, and
+reports a typed :class:`StoreStats`.  Stores predating this surface
+(the bare five-method protocol) are still accepted by
+:func:`open_store` with a one-per-process DeprecationWarning.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Protocol, TYPE_CHECKING, runtime_checkable
+from typing import Iterator, Mapping, Protocol, TYPE_CHECKING, runtime_checkable
 
-from repro.errors import SessionError
+from repro.errors import SessionError, StoreError
 from repro.pods.api import Facts, SessionSnapshot, facts_of
+from repro.verify.deprecation import warn_once
 
 if TYPE_CHECKING:
     from repro.relalg.instance import Instance
 
 
-@runtime_checkable
-class SessionStore(Protocol):
-    """Where session state lives between (and across) service instances.
+@dataclass(frozen=True)
+class StoreStats:
+    """A store's size, as the capacity benchmarks read it.
 
-    :meth:`record_step` receives the live (immutable) instances, so a
-    store decides for itself when to pay for serialization: the
-    in-memory store just keeps references on the hot path, the JSONL
-    store encodes eagerly.  ``log_entry`` is ``None`` when the service
-    runs with logging off; stores then persist only state and step
-    count, and restored sessions resume with an empty log (matching
-    ``keep_logs=False`` semantics).
+    ``sessions`` counts every session the backend still holds data for
+    (closed-but-retained files included, where the backend retains
+    them); ``open_sessions`` counts the resumable ones;
+    ``bytes_on_disk`` is the backend's current on-disk footprint (0 for
+    in-memory); ``events`` is the number of persisted event records --
+    each backend documents its own notion (in-memory: created + steps
+    retained; JSONL: total lines; SQLite: snapshot rows + log rows).
+    """
+
+    sessions: int = 0
+    open_sessions: int = 0
+    bytes_on_disk: int = 0
+    events: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What :func:`migrate_sessions` did, per session.
+
+    ``migrated`` holds the ids now live in the destination; ``skipped``
+    the ids that vanished between listing and loading (e.g. closed by a
+    concurrent service); ``errors`` maps ids to the message of the
+    :class:`~repro.errors.SessionError` their import raised.  For the
+    PR 2 call shape (``migrate_sessions(...) == ["alice", ...]``) the
+    report still compares, iterates, and measures like the bare list of
+    migrated ids, with a one-per-process DeprecationWarning.
+    """
+
+    migrated: tuple[str, ...] = ()
+    skipped: tuple[str, ...] = ()
+    errors: tuple[tuple[str, str], ...] = ()
+
+    def _as_list(self, shape: str) -> list[str]:
+        warn_once(
+            "pods.migration-report-as-list",
+            f"{shape} a MigrationReport as a bare id list is deprecated; "
+            "read report.migrated (and report.skipped / report.errors) "
+            "instead",
+            stacklevel=4,
+        )
+        return list(self.migrated)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._as_list("iterating"))
+
+    def __len__(self) -> int:
+        return len(self._as_list("len() over"))
+
+    def __contains__(self, session_id: object) -> bool:
+        return session_id in self._as_list("membership-testing")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MigrationReport):
+            return (
+                self.migrated == other.migrated
+                and self.skipped == other.skipped
+                and self.errors == other.errors
+            )
+        if isinstance(other, (list, tuple)):
+            return self._as_list("comparing") == list(other)
+        return NotImplemented
+
+    __hash__ = None  # list-comparable, so unhashable like a list
+
+
+@runtime_checkable
+class LegacySessionStore(Protocol):
+    """The PR 2 storage seam: the five recording/loading methods.
+
+    Stores implementing only this surface still work everywhere (the
+    service duck-types the lifecycle extensions), but
+    :func:`open_store` warns once per process -- implement
+    :class:`SessionStore`, most easily by inheriting
+    :class:`StoreLifecycle`.
     """
 
     def record_created(self, session_id: str) -> None:
@@ -81,7 +164,67 @@ class SessionStore(Protocol):
         ...
 
 
-class InMemoryStore:
+@runtime_checkable
+class SessionStore(LegacySessionStore, Protocol):
+    """Where session state lives between (and across) service instances.
+
+    :meth:`record_step` receives the live (immutable) instances, so a
+    store decides for itself when to pay for serialization: the
+    in-memory store just keeps references on the hot path, the JSONL
+    store encodes eagerly, the SQLite store encodes eagerly but may
+    defer the commit (write-behind).  ``log_entry`` is ``None`` when
+    the service runs with logging off; stores then persist only state
+    and step count, and restored sessions resume with an empty log
+    (matching ``keep_logs=False`` semantics).
+
+    On top of the recording seam, a store is a managed resource:
+    :meth:`flush` makes every buffered event durable (returns how many
+    it persisted), :meth:`close` flushes and releases the backend, and
+    :meth:`stats` reports a typed :class:`StoreStats`.
+    """
+
+    def flush(self) -> int:
+        """Persist buffered events; returns the number flushed."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release the backend; the store is unusable after."""
+        ...
+
+    def stats(self) -> StoreStats:
+        """The store's current size as a :class:`StoreStats`."""
+        ...
+
+
+class StoreLifecycle:
+    """Default lifecycle surface shared by the concrete stores.
+
+    Write-through stores inherit the no-op :meth:`flush` and
+    :meth:`close`; every store gets the context-manager protocol for
+    free (``with open_store(path) as store: ...`` closes on exit).
+    Subclasses override :meth:`stats` (the default reports an empty
+    store) and whichever lifecycle methods their backend needs.
+    """
+
+    def flush(self) -> int:
+        """Persist buffered events; write-through stores have none."""
+        return 0
+
+    def close(self) -> None:
+        """Flush and release the backend (no-op by default)."""
+        self.flush()
+
+    def stats(self) -> StoreStats:
+        return StoreStats()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InMemoryStore(StoreLifecycle):
     """Process-local snapshots; no durability across restarts.
 
     This is "today's behavior" from PR 1: sessions exist only while the
@@ -102,6 +245,20 @@ class InMemoryStore:
     def record_created(self, session_id: str) -> None:
         with self._lock:
             self._records[session_id] = [0, None, []]
+
+    def stats(self) -> StoreStats:
+        """``events`` counts retained records: one created per session
+        plus its current step count (closed sessions are dropped
+        outright, so they no longer contribute)."""
+        with self._lock:
+            sessions = len(self._records)
+            events = sum(1 + record[0] for record in self._records.values())
+        return StoreStats(
+            sessions=sessions,
+            open_sessions=sessions,
+            bytes_on_disk=0,
+            events=events,
+        )
 
     def record_step(
         self,
@@ -182,7 +339,7 @@ def _decode_facts(encoded: dict[str, list[list]]) -> dict[str, frozenset[tuple]]
     }
 
 
-class JsonlDirectoryStore:
+class JsonlDirectoryStore(StoreLifecycle):
     """One append-only ``<session_id>.jsonl`` event file per session.
 
     The first line of a file is a ``created`` record; every step appends
@@ -289,6 +446,21 @@ class JsonlDirectoryStore:
         self.record_created(snapshot.session_id)
         self._append(snapshot.session_id, self._snapshot_record(snapshot))
 
+    def _fsync_directory(self) -> None:
+        """Make a just-completed rename durable (POSIX: fsync the dir).
+
+        Platforms that cannot open a directory for reading (Windows)
+        skip the sync -- the rename itself is still atomic there.
+        """
+        try:
+            fd = os.open(self._directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def compact(self) -> int:
         """Fold every multi-record session file into one snapshot line.
 
@@ -296,6 +468,14 @@ class JsonlDirectoryStore:
         the snapshot the original file loads to.  Files already compact
         (at most one state-bearing record) and closed sessions are left
         untouched.  Returns the number of files rewritten.
+
+        Crash-safe: the replacement is written to a ``.tmp`` scratch
+        file, fsynced, atomically renamed over the original, and the
+        directory entry is fsynced -- at every instant the session's
+        path holds either the complete old file or the complete new
+        one, so a crash mid-compaction can never lose (or truncate) a
+        session's event file.  Stale scratch files from a previous
+        crash are swept on entry.
         """
         # A crash between writing a scratch file and the atomic replace
         # leaves a stale .tmp behind; sweep them before rewriting.
@@ -303,36 +483,51 @@ class JsonlDirectoryStore:
             stale.unlink()
         compacted = 0
         for path in sorted(self._directory.glob("*.jsonl")):
-            records = []
-            with path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        records.append(json.loads(line))
-            kinds = [record.get("kind") for record in records]
-            if "closed" in kinds:
-                continue
-            if sum(1 for kind in kinds if kind in ("step", "snapshot")) <= 1:
-                continue
-            snapshot = self.load(path.stem)
-            if snapshot is None:
-                continue
-            created = next(
-                (r for r in records if r.get("kind") == "created"),
-                {"kind": "created", "session_id": path.stem, "version": 1},
-            )
-            scratch = path.with_name(path.name + ".tmp")
-            with scratch.open("w", encoding="utf-8") as handle:
-                handle.write(json.dumps(created, sort_keys=True) + "\n")
-                handle.write(
-                    json.dumps(self._snapshot_record(snapshot), sort_keys=True)
-                    + "\n"
+            # Hold the session's write lock across read-fold-replace so
+            # a concurrent append cannot land between the snapshot read
+            # and the rename (and be silently dropped by it).
+            with self._lock_of(path.stem):
+                records = []
+                with path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            records.append(json.loads(line))
+                kinds = [record.get("kind") for record in records]
+                if "closed" in kinds:
+                    continue
+                if sum(1 for k in kinds if k in ("step", "snapshot")) <= 1:
+                    continue
+                snapshot = self._load_unlocked(path.stem)
+                if snapshot is None:
+                    continue
+                created = next(
+                    (r for r in records if r.get("kind") == "created"),
+                    {"kind": "created", "session_id": path.stem, "version": 1},
                 )
-            scratch.replace(path)
-            compacted += 1
+                scratch = path.with_name(path.name + ".tmp")
+                with scratch.open("w", encoding="utf-8") as handle:
+                    handle.write(json.dumps(created, sort_keys=True) + "\n")
+                    handle.write(
+                        json.dumps(
+                            self._snapshot_record(snapshot), sort_keys=True
+                        )
+                        + "\n"
+                    )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(scratch, path)
+                self._fsync_directory()
+                compacted += 1
         return compacted
 
     def load(self, session_id: str) -> SessionSnapshot | None:
+        return self._load_unlocked(session_id)
+
+    def _load_unlocked(self, session_id: str) -> SessionSnapshot | None:
+        # Reads never take the session lock (appends are whole-line
+        # atomic and loads tolerate a final partial view); compact()
+        # calls in here while already holding the lock.
         path = self.path_of(session_id)
         if not path.exists():
             return None
@@ -389,52 +584,123 @@ class JsonlDirectoryStore:
                 ids.append(path.stem)
         return ids
 
+    def stats(self) -> StoreStats:
+        """``events`` counts event lines across all files; ``sessions``
+        counts files (a closed session's file is retained until its id
+        is recreated, so it still counts)."""
+        sessions = open_sessions = bytes_on_disk = events = 0
+        for path in sorted(self._directory.glob("*.jsonl")):
+            sessions += 1
+            bytes_on_disk += path.stat().st_size
+            with path.open("r", encoding="utf-8") as handle:
+                closed = False
+                for line in handle:
+                    if line.strip():
+                        events += 1
+                    if line.startswith(self._CLOSED_PREFIX):
+                        closed = True
+            if not closed:
+                open_sessions += 1
+        return StoreStats(
+            sessions=sessions,
+            open_sessions=open_sessions,
+            bytes_on_disk=bytes_on_disk,
+            events=events,
+        )
+
 
 def migrate_sessions(
     src_store: SessionStore, dst_store: SessionStore
-) -> list[str]:
+) -> MigrationReport:
     """Copy every resumable session of ``src_store`` into ``dst_store``.
 
     Snapshots travel in their plain-facts wire form, so sessions move
-    freely between store implementations (in-memory to JSONL directory
-    and back); a service opened over ``dst_store`` resumes them exactly
-    where they stopped.  The source is left untouched -- drop or retire
-    it once the destination is live.  Raises
-    :class:`~repro.errors.SessionError` if the destination already knows
-    one of the ids (or cannot import snapshots); returns the migrated
-    ids in sorted order.
+    freely between store implementations (in-memory, JSONL directory,
+    SQLite file, and back); a service opened over ``dst_store`` resumes
+    them exactly where they stopped.  The source is left untouched --
+    drop or retire it once the destination is live.
+
+    Raises :class:`~repro.errors.StoreError` up front if the
+    destination already knows one of the ids (or cannot import
+    snapshots), so a failed migration never leaves it half-populated.
+    Per-session outcomes after that pre-flight are collected instead of
+    raised: the returned :class:`MigrationReport` lists the ids
+    migrated (sorted), the ids skipped because they vanished from the
+    source mid-migration, and any per-session import errors.
     """
     importer = getattr(dst_store, "import_snapshot", None)
     if importer is None:
-        raise SessionError(
+        raise StoreError(
             f"destination store {dst_store!r} does not support "
             "import_snapshot"
         )
     source_ids = src_store.session_ids()
     collisions = set(source_ids) & set(dst_store.session_ids())
     if collisions:
-        # Refuse before importing anything, so a failed migration never
-        # leaves the destination half-populated.
-        raise SessionError(
+        raise StoreError(
             f"sessions already exist in the destination: "
             f"{sorted(collisions)}"
         )
     migrated: list[str] = []
+    skipped: list[str] = []
+    errors: list[tuple[str, str]] = []
     for session_id in source_ids:
         snapshot = src_store.load(session_id)
         if snapshot is None:
+            skipped.append(session_id)
             continue
-        importer(snapshot)
+        try:
+            importer(snapshot)
+        except SessionError as error:
+            errors.append((session_id, str(error)))
+            continue
         migrated.append(session_id)
-    return migrated
+    flush = getattr(dst_store, "flush", None)
+    if flush is not None:
+        # Migrations are rare and load-bearing: make the destination
+        # durable before reporting success, whatever its durability knob.
+        flush()
+    return MigrationReport(
+        migrated=tuple(migrated),
+        skipped=tuple(skipped),
+        errors=tuple(errors),
+    )
+
+
+#: File suffixes that make a path argument open a SQLite store rather
+#: than a JSONL directory.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
 
 def open_store(target: "SessionStore | str | Path | None") -> SessionStore:
-    """Coerce a store argument: None -> in-memory, path -> JSONL dir."""
+    """Coerce a store argument.
+
+    ``None`` opens an in-memory store; a path with a SQLite suffix
+    (:data:`SQLITE_SUFFIXES`) opens a
+    :class:`~repro.pods.sqlite_store.SqliteStore`; any other path opens
+    a :class:`JsonlDirectoryStore` over that directory.  Store objects
+    pass through -- stores implementing only the PR 2 five-method seam
+    (no ``flush``/``close``/``stats``) are still accepted, with a
+    one-per-process DeprecationWarning.
+    """
     if target is None:
         return InMemoryStore()
     if isinstance(target, (str, Path)):
-        return JsonlDirectoryStore(target)
+        path = Path(target)
+        if path.suffix.lower() in SQLITE_SUFFIXES:
+            from repro.pods.sqlite_store import SqliteStore
+
+            return SqliteStore(path)
+        return JsonlDirectoryStore(path)
     if isinstance(target, SessionStore):
         return target
-    raise SessionError(f"not a session store: {target!r}")
+    if isinstance(target, LegacySessionStore):
+        warn_once(
+            "pods.legacy-store-protocol",
+            f"{type(target).__name__} implements only the five-method "
+            "SessionStore seam; add flush()/close()/stats() (inherit "
+            "repro.pods.store.StoreLifecycle) to implement the full "
+            "storage API",
+        )
+        return target
+    raise StoreError(f"not a session store: {target!r}")

@@ -166,6 +166,18 @@ class OnlineAuditor:
                 spec, transducer, database, reference=self.reference
             )
 
+    def is_registered(self, session_id: str) -> bool:
+        """Whether a session is currently under audit.
+
+        Registration survives hot-session eviction: the service's LRU
+        cache drops only the in-memory :class:`Session` object, and the
+        audit state lives here, keyed by id.  Only
+        :meth:`forget_session` (session closed) ends an audit, so a
+        rehydrated session keeps its monitors, history, and findings.
+        """
+        with self._lock:
+            return session_id in self._sessions
+
     def register_session(
         self,
         session_id: str,
@@ -173,7 +185,7 @@ class OnlineAuditor:
         steps: int = 0,
         log: Sequence = (),
         state=None,
-    ) -> None:
+    ) -> bool:
         """Start auditing a session (fresh, or resumed at ``steps``).
 
         For a resumed session the service supplies the restored step
@@ -186,12 +198,18 @@ class OnlineAuditor:
         resume prefix would be missing -- so that raises here instead
         of crashing (or producing non-reproducing traces) at the first
         violation.
+
+        Registering an already-registered session is a no-op returning
+        ``False`` (the existing audit, with its accumulated history,
+        wins); ``True`` means this call started the audit.  The no-op
+        path is what lets a service rehydrate an evicted session
+        without resetting its audit mid-run.
         """
         if self._transducer is None or self._database is None:
             raise SpecError("OnlineAuditor.bind() must run before sessions")
         with self._lock:
             if session_id in self._sessions:
-                return
+                return False
         if steps and len(log) != steps:
             raise SpecError(
                 f"cannot audit session {session_id!r}: it resumed at step "
@@ -232,7 +250,7 @@ class OnlineAuditor:
         with self._lock:
             # setdefault so racing registrations of the same session id
             # agree on one audit object (first writer wins).
-            self._sessions.setdefault(session_id, audit)
+            return self._sessions.setdefault(session_id, audit) is audit
 
     def forget_session(self, session_id: str) -> None:
         """Stop auditing (session closed); keeps recorded findings."""

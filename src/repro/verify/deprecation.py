@@ -1,4 +1,4 @@
-"""Shared deprecation shim for the seed-era verify entry points.
+"""Shared deprecation shims: warn once per process, never spam.
 
 The PR 4 redesign moved verification behind the typed
 :class:`~repro.verify.api.Verifier` facade; the original module-level
@@ -7,6 +7,11 @@ functions (``is_valid_log``, ``is_goal_reachable``, ``holds_on_all_runs``,
 emit a :class:`DeprecationWarning` -- exactly once per process across
 *all* of them, mirroring the :class:`~repro.runtime.MultiSessionEngine`
 shim convention, so a long-running service is not spammed.
+
+:func:`warn_once` is the reusable core of that pattern: any layer that
+keeps an old call shape alive (e.g. the storage API's legacy
+``migrate_sessions`` return shape in :mod:`repro.pods.store`) registers
+its own key and warns at most once per process for it.
 """
 
 from __future__ import annotations
@@ -14,6 +19,21 @@ from __future__ import annotations
 import warnings
 
 _deprecation_warned = False
+_warned_keys: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per process per key.
+
+    Distinct ``key`` values warn independently; repeated calls with the
+    same key stay silent.  All the repo's warn-once shims (legacy verify
+    entry points, the engine shim, the storage-API compatibility shapes)
+    funnel through here or follow the same flag-guarded shape.
+    """
+    if key in _warned_keys:
+        return
+    _warned_keys.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
 
 
 def warn_legacy(entry_point: str, replacement: str) -> None:
