@@ -184,7 +184,7 @@ def test_repo_records_are_loadable():
     records = load_records(Path(__file__).resolve().parent.parent)
     names = {name for name, _record in records}
     for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19",
-                     "BENCH_e20", "BENCH_e21"):
+                     "BENCH_e20", "BENCH_e21", "BENCH_e22"):
         assert any(name.startswith(expected) for name in names)
     # The table and chart must render whatever mix of schemas exists,
     # headline or not.
@@ -256,6 +256,25 @@ def test_e21_record_claims_hold():
     # The bound is what caps memory: the bounded peak must undercut the
     # all-resident peak, and both must be recorded in the JSON.
     assert 0 < bounded["ru_maxrss_mb"] < all_resident["ru_maxrss_mb"]
+
+
+def test_e22_record_claims_hold():
+    """The committed E22 record must cover the full workers x
+    concurrency grid with zero worker restarts and a bounded (not
+    collapsed) HTTP-vs-in-process ratio (PR 7's acceptance criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e22.json").read_text())
+    grid = record["grid"]
+    assert len(grid) >= 4
+    points = {(p["workers"], p["worker_concurrency"]) for p in grid}
+    assert len(points) == len(grid)
+    assert all(p["worker_restarts"] == 0 for p in grid)
+    assert all(p["steps_per_second"] > 0 for p in grid)
+    assert record["in_process"]["steps_per_second"] > 0
+    assert 0.02 <= record["http_vs_in_process_ratio"]
+    # cpu_count is recorded so a reader can tell whether the grid *should*
+    # have scaled (multi-core) or stayed flat (single core).
+    assert record["cpu_count"] >= 1
 
 
 # -- script entry point -------------------------------------------------------

@@ -226,6 +226,43 @@ def main() -> None:
             f"uninterrupted run: {log.entries == uninterrupted.logs}"
         )
 
+    # 11. The pod *server*: the same runtime behind an HTTP front-end,
+    #     one worker process per shard (crash isolation, own store
+    #     directory each), stdlib only.  PodClient speaks the versioned
+    #     JSON wire protocol and re-exposes the familiar surface, so
+    #     this section reads exactly like section 2 -- the HTTP hop and
+    #     the process boundary are invisible until something fails
+    #     (full shard -> typed Backpressure / HTTP 429; crashed worker
+    #     -> restarted and rehydrated from its write-through store).
+    #     The factory is a module-level callable (build_short) because
+    #     workers are spawned processes and pickle their config.
+    from repro.server import PodClient, PodServer
+
+    print("\npod server (2 worker processes behind HTTP):")
+    with PodServer(build_short, database, workers=2) as server:
+        client = PodClient(server.url, transducer)
+        print(f"  listening on {server.url}, healthz: {client.healthz()}")
+        henry = client.create_session("henry")
+        print(f"  created {henry.session_id!r} -> shard {henry.shard}")
+        for inputs in FIGURE1_FIRST_HALF:
+            result = client.submit(StepRequest(henry, inputs))
+            print(
+                f"  step {result.step}: "
+                f"deliver={sorted(result.output['deliver'])} "
+                f"sendbill={sorted(result.output['sendbill'])}"
+            )
+        view = client.session(henry)
+        print(
+            f"  snapshot over the wire: {view.steps} steps, "
+            f"log entries: {len(view.log())}"
+        )
+        payload = client.metrics_payload()
+        print(
+            f"  merged metrics: {payload['pods']['steps_executed']} steps "
+            f"across {payload['server']['workers']} workers "
+            f"({payload['server']['restarts']} restarts)"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -137,6 +137,7 @@ def simulate_concurrent_customers(
     sample_sessions: int = 4,
     shards: int = 1,
     store_factory=None,
+    service=None,
 ) -> WorkloadReport:
     """Run ``sessions`` independent shopping sessions over one catalog.
 
@@ -150,21 +151,34 @@ def simulate_concurrent_customers(
     :class:`~repro.pods.service.ShardedPodService` instead (the E17
     configuration); ``store_factory`` maps a shard index to a
     :class:`~repro.pods.store.SessionStore` for persistence-backed runs.
+
+    ``service`` injects the traffic surface outright -- anything with
+    the ``create_session`` / ``drive`` / ``session`` / ``metrics``
+    shape, e.g. a :class:`~repro.server.client.PodClient` pointed at a
+    live pod server -- and then ``shards`` / ``store_factory`` /
+    ``keep_logs`` are ignored (they describe a service this function
+    would have built).  The driver itself is identical either way,
+    which is what makes in-process-vs-server comparisons apples to
+    apples.
     """
     supports_pending = "pending-bills" in transducer.schema.inputs
-    if shards == 1:
-        store = store_factory(0) if store_factory is not None else None
-        service = PodService(
-            transducer, catalog.as_database(), store=store, keep_logs=keep_logs
-        )
-    else:
-        service = ShardedPodService(
-            transducer,
-            catalog.as_database(),
-            shards=shards,
-            keep_logs=keep_logs,
-            store_factory=store_factory,
-        )
+    if service is None:
+        if shards == 1:
+            store = store_factory(0) if store_factory is not None else None
+            service = PodService(
+                transducer,
+                catalog.as_database(),
+                store=store,
+                keep_logs=keep_logs,
+            )
+        else:
+            service = ShardedPodService(
+                transducer,
+                catalog.as_database(),
+                shards=shards,
+                keep_logs=keep_logs,
+                store_factory=store_factory,
+            )
     workload: dict[SessionHandle, list[dict[str, set[tuple]]]] = {}
     sampled: list[SessionHandle] = []
     for customer in range(sessions):
@@ -188,12 +202,12 @@ def simulate_concurrent_customers(
         sample_lengths = tuple(
             service.session(handle).steps for handle in sampled
         )
-    metrics = service.metrics
+    snapshot = service.metrics.snapshot()
     return WorkloadReport(
         sessions=sessions,
         steps_per_session=steps_per_session,
-        total_steps=metrics.steps_executed,
-        metrics=metrics.snapshot(),
+        total_steps=snapshot["steps_executed"],
+        metrics=snapshot,
         sample_log_lengths=sample_lengths,
         shards=shards,
     )

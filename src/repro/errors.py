@@ -59,6 +59,55 @@ class ShardError(SessionError):
     """
 
 
+class ServerError(ReproError):
+    """The process-level pod server failed outside a session's semantics.
+
+    Raised by :mod:`repro.server` for server-side faults that are not a
+    session/store/shard error in their own right: a worker process that
+    died while a request was in flight, a request that timed out waiting
+    for its worker, a front-end asked to route to a worker it does not
+    have.  The wire codec maps these to the ``server-error`` wire code
+    (HTTP 500/503-style) so :class:`~repro.server.client.PodClient`
+    callers see the same typed exception the server raised.
+    """
+
+
+class Backpressure(ServerError):
+    """A pod server worker's request queue is full; try again later.
+
+    Admission control of :mod:`repro.server`: each worker process is fed
+    by a bounded in-flight window, and a request arriving while the
+    window is full is *rejected* with this error (wire code
+    ``backpressure``, HTTP 429) instead of queueing unboundedly -- the
+    429-style contract that keeps an overloaded pod server's latency
+    bounded.  ``shard`` names the saturated worker, ``queue_depth`` its
+    window size.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: "int | None" = None,
+        queue_depth: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.queue_depth = queue_depth
+
+
+class WireError(ServerError):
+    """A wire payload is malformed or of an unsupported version.
+
+    Raised by :mod:`repro.server.wire` when decoding: non-object
+    payloads, missing/unknown wire versions, unknown message kinds, and
+    structurally invalid bodies.  Both sides raise it -- a server
+    receiving garbage answers with a typed ``wire-error`` envelope
+    (never crashing the worker), and a client receiving a response it
+    cannot decode raises it locally.
+    """
+
+
 class RuleError(ReproError):
     """A datalog rule is malformed (unsafe, wrong head, bad literal)."""
 

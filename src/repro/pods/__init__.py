@@ -59,7 +59,7 @@ from repro.pods.cache import (
     LruSessionCache,
     max_resident_sessions,
 )
-from repro.pods.metrics import RuntimeMetrics
+from repro.pods.metrics import RuntimeMetrics, merge_snapshots
 from repro.pods.service import (
     CONCURRENCY_ENV,
     PodService,
@@ -87,6 +87,7 @@ __all__ = [
     "StepRequest",
     "StepResult",
     "RuntimeMetrics",
+    "merge_snapshots",
     "CONCURRENCY_ENV",
     "MAX_RESIDENT_ENV",
     "LruSessionCache",

@@ -24,11 +24,11 @@ surplus as pins are released.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.config import env_int
 from repro.errors import SessionError
 
 if TYPE_CHECKING:
@@ -47,21 +47,14 @@ MAX_RESIDENT_ENV = "REPRO_MAX_RESIDENT"
 def max_resident_sessions(limit: "int | None" = None) -> "int | None":
     """Resolve a ``max_resident_sessions`` argument.
 
-    ``None`` falls back to :data:`MAX_RESIDENT_ENV`, then to unlimited
+    ``None`` falls back to :data:`MAX_RESIDENT_ENV` (parsed by the
+    shared :func:`repro.config.env_int` helper), then to unlimited
     residency (the pre-cache behavior).  ``0`` -- explicit or from the
     environment -- also means unlimited; anything below that raises
     :class:`~repro.errors.SessionError`.
     """
     if limit is None:
-        raw = os.environ.get(MAX_RESIDENT_ENV, "").strip()
-        if not raw:
-            return None
-        try:
-            limit = int(raw)
-        except ValueError:
-            raise SessionError(
-                f"invalid {MAX_RESIDENT_ENV}={raw!r}: need an integer >= 0"
-            ) from None
+        limit = env_int(MAX_RESIDENT_ENV, default=0, minimum=0)
     if limit == 0:
         return None
     if limit < 0:

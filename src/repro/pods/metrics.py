@@ -189,6 +189,7 @@ class RuntimeMetrics:
             "sessions_rehydrated": self.sessions_rehydrated,
             "store_flushes": self.store_flushes,
             "steps_executed": self.steps_executed,
+            "step_seconds_total": round(self.step_seconds_total, 9),
             "elapsed_seconds": round(self.elapsed(), 6),
             "steps_per_second": round(self.steps_per_second(), 3),
             "sessions_per_second": round(self.sessions_per_second(), 3),
@@ -209,3 +210,70 @@ class RuntimeMetrics:
             "audit_checks": self.audit_checks,
             "audit_violations": self.audit_violations,
         }
+
+
+#: snapshot() keys that accumulate by summation when merging.
+_SUMMED_KEYS = (
+    "sessions_created",
+    "sessions_resumed",
+    "sessions_closed",
+    "sessions_evicted",
+    "sessions_rehydrated",
+    "store_flushes",
+    "steps_executed",
+    "step_seconds_total",
+    "plans_compiled",
+    "plan_cache_hits",
+    "full_rule_evals",
+    "delta_rule_evals",
+    "delta_rules_skipped",
+    "static_cache_hits",
+    "audited_steps",
+    "audit_checks",
+    "audit_violations",
+)
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Fold per-worker :meth:`RuntimeMetrics.snapshot` dicts into one.
+
+    The process-level pod server's counterpart of
+    :meth:`RuntimeMetrics.merged`: worker processes can only ship the
+    JSON-ready snapshot dict across the wire, not the live metrics
+    object, so the front-end merges at the dict level -- counts add,
+    latency extremes combine, the elapsed clock is the widest worker's
+    (workers start together, so wall-clock rates stay end-to-end), and
+    the derived rates are recomputed from the merged totals.  Snapshot
+    keys a worker does not report (older wire versions) count as zero.
+    """
+    snapshots = list(snapshots)
+    merged: dict = {key: 0 for key in _SUMMED_KEYS}
+    for snapshot in snapshots:
+        for key in _SUMMED_KEYS:
+            merged[key] += snapshot.get(key, 0)
+    merged["step_seconds_total"] = round(merged["step_seconds_total"], 9)
+    elapsed = max(
+        (s.get("elapsed_seconds", 0.0) for s in snapshots), default=0.0
+    )
+    steps = merged["steps_executed"]
+    mins = [
+        s["min_step_latency_seconds"]
+        for s in snapshots
+        if s.get("steps_executed") and "min_step_latency_seconds" in s
+    ]
+    merged["elapsed_seconds"] = elapsed
+    merged["steps_per_second"] = (
+        round(steps / elapsed, 3) if elapsed > 0 else 0.0
+    )
+    merged["sessions_per_second"] = (
+        round(merged["sessions_created"] / elapsed, 3) if elapsed > 0 else 0.0
+    )
+    merged["mean_step_latency_seconds"] = (
+        round(merged["step_seconds_total"] / steps, 9) if steps else 0.0
+    )
+    merged["min_step_latency_seconds"] = min(mins) if mins else 0.0
+    merged["max_step_latency_seconds"] = max(
+        (s.get("max_step_latency_seconds", 0.0) for s in snapshots),
+        default=0.0,
+    )
+    return merged

@@ -49,7 +49,6 @@ per-session state.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 import zlib
@@ -59,6 +58,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 if TYPE_CHECKING:
     from repro.verify.api.auditor import OnlineAuditor
 
+from repro.config import env_int
 from repro.core.transducer import InputLike, RelationalTransducer
 from repro.errors import AuditViolation, SessionError, ShardError
 from repro.pods.api import (
@@ -118,20 +118,13 @@ CONCURRENCY_ENV = "REPRO_BATCH_CONCURRENCY"
 def batch_concurrency(concurrency: "int | None" = None) -> int:
     """Resolve a ``submit_batch`` concurrency argument.
 
-    ``None`` falls back to :data:`CONCURRENCY_ENV`, then to 1 (serial).
+    ``None`` falls back to :data:`CONCURRENCY_ENV` (parsed by the
+    shared :func:`repro.config.env_int` helper), then to 1 (serial).
     Anything below 1 -- explicit or from the environment -- raises
     :class:`~repro.errors.SessionError`.
     """
     if concurrency is None:
-        raw = os.environ.get(CONCURRENCY_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            concurrency = int(raw)
-        except ValueError:
-            raise SessionError(
-                f"invalid {CONCURRENCY_ENV}={raw!r}: need an integer >= 1"
-            ) from None
+        concurrency = env_int(CONCURRENCY_ENV, default=1, minimum=1)
     if concurrency < 1:
         raise SessionError(
             f"batch concurrency must be >= 1, got {concurrency}"
@@ -629,6 +622,20 @@ class PodService(_PodApi):
         self.metrics.record_flush()
         return flushed
 
+    def close(self) -> None:
+        """Release the service: flush and close its store.
+
+        The shutdown hook of the process-level pod server -- a worker
+        embedding a :class:`PodService` calls this once on graceful
+        exit so a write-behind store drains before the process dies.
+        Open sessions are *not* closed (they stay resumable from the
+        store); the service must not be used afterwards.  Stores
+        predating the lifecycle API (no ``close``) are left untouched.
+        """
+        close = getattr(self._store, "close", None)
+        if close is not None:
+            close()
+
     # -- traffic ---------------------------------------------------------------
 
     def submit(self, request: StepRequest) -> StepResult:
@@ -831,6 +838,11 @@ class ShardedPodService(_PodApi):
     def flush(self) -> int:
         """Flush every shard's store; returns total events flushed."""
         return sum(shard.flush() for shard in self._shards)
+
+    def close(self) -> None:
+        """Release every shard (flush and close each shard's store)."""
+        for shard in self._shards:
+            shard.close()
 
     # -- traffic ---------------------------------------------------------------
 

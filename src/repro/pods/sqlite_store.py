@@ -43,9 +43,13 @@ guarantee of the :class:`~repro.pods.store.SessionStore` contract.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
+import signal
 import sqlite3
 import threading
+import weakref
 from pathlib import Path
 
 from repro.errors import SessionError, StoreError
@@ -58,6 +62,67 @@ from repro.pods.store import (
 )
 
 DURABILITY_MODES = ("full", "step", "batched")
+
+# Open write-behind stores, so an interpreter exit (atexit) or a
+# SIGTERM can drain buffers the owner never flush()ed/close()d.  Weak
+# references: registration must not keep an abandoned store (and its
+# sqlite connection) alive.
+_OPEN_BATCHED: "weakref.WeakSet[SqliteStore]" = weakref.WeakSet()
+_EXIT_HOOKS = {"installed": False}
+_EXIT_HOOKS_LOCK = threading.Lock()
+
+
+def drain_open_stores() -> int:
+    """Flush every open ``durability="batched"`` store; returns events.
+
+    The last-resort drain behind the exit hooks; safe to call at any
+    time (a store closed or flushed concurrently just contributes 0).
+    Failures are swallowed -- this runs during interpreter shutdown or
+    inside a signal handler, where raising would mask the exit itself.
+    """
+    drained = 0
+    for store in list(_OPEN_BATCHED):
+        try:
+            drained += store.flush()
+        except Exception:
+            continue
+    return drained
+
+
+def _sigterm_drain(signum, frame):
+    """Drain buffers, then die by SIGTERM as if unhandled.
+
+    Restoring ``SIG_DFL`` and re-raising keeps the kill semantics a
+    supervisor expects (the process reports termination-by-signal, not
+    a clean exit) while still making acknowledged-but-buffered events
+    durable first.
+    """
+    drain_open_stores()
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_exit_hooks() -> None:
+    """Register the atexit drain (and a SIGTERM drain when possible).
+
+    Called once, lazily, by the first batched store.  The SIGTERM hook
+    is only installed when the process still has the *default* handler
+    and we are on the main thread -- an application (or test harness)
+    that manages SIGTERM itself is never overridden; it can call
+    :func:`drain_open_stores` from its own handler.
+    """
+    with _EXIT_HOOKS_LOCK:
+        if _EXIT_HOOKS["installed"]:
+            return
+        _EXIT_HOOKS["installed"] = True
+        atexit.register(drain_open_stores)
+        try:
+            if signal.getsignal(signal.SIGTERM) == signal.SIG_DFL:
+                signal.signal(signal.SIGTERM, _sigterm_drain)
+        except (ValueError, OSError):
+            # Not the main thread (or an embedded interpreter without
+            # signal support): the atexit hook still covers clean exits.
+            pass
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS snapshots (
@@ -125,6 +190,12 @@ class SqliteStore(StoreLifecycle):
             raise StoreError(
                 f"cannot open SQLite store at {self._path}: {error}"
             ) from error
+        if durability == "batched":
+            # A SIGTERM or plain interpreter exit must not lose the
+            # write-behind buffer of a store nobody close()d: register
+            # for the module's exit-time drain.
+            _install_exit_hooks()
+            _OPEN_BATCHED.add(self)
 
     @property
     def path(self) -> Path:
@@ -306,6 +377,16 @@ class SqliteStore(StoreLifecycle):
             self._flush_locked()
             self._closed = True
             self._conn.close()
+        _OPEN_BATCHED.discard(self)
+
+    def __del__(self) -> None:
+        # Best-effort drain for a store garbage-collected before exit
+        # (the exit hooks hold only weak references, so GC would
+        # otherwise silently drop a pending write-behind buffer).
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def stats(self) -> StoreStats:
         """``events`` counts snapshot rows plus log rows; closed

@@ -317,8 +317,14 @@ class InMemoryStore(StoreLifecycle):
             return sorted(self._records)
 
 
-def _encode_facts(facts: Facts) -> dict[str, list[list]]:
-    """Facts as JSON-ready sorted lists (deterministic file contents)."""
+def encode_facts(facts: Facts) -> dict[str, list[list]]:
+    """Facts as JSON-ready sorted lists (deterministic file contents).
+
+    The one fact codec of the runtime: the JSONL and SQLite stores
+    persist through it, and the pod server's wire format
+    (:mod:`repro.server.wire`) reuses it verbatim, so a fact's bytes
+    are identical in an event file, a SQLite row, and an HTTP body.
+    """
     return {
         name: [list(row) for row in sorted(rows, key=repr)]
         for name, rows in sorted(facts.items())
@@ -332,11 +338,17 @@ def _decode_row(row: list) -> tuple:
     )
 
 
-def _decode_facts(encoded: dict[str, list[list]]) -> dict[str, frozenset[tuple]]:
+def decode_facts(encoded: dict[str, list[list]]) -> dict[str, frozenset[tuple]]:
+    """Inverse of :func:`encode_facts`: rows back to (nested) tuples."""
     return {
         name: frozenset(_decode_row(row) for row in rows)
         for name, rows in encoded.items()
     }
+
+
+# Original (pre-server) private names, kept for in-repo callers.
+_encode_facts = encode_facts
+_decode_facts = decode_facts
 
 
 class JsonlDirectoryStore(StoreLifecycle):

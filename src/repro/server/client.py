@@ -1,0 +1,283 @@
+"""`PodClient`: the in-process service surface, spoken over HTTP.
+
+The client exposes the same traffic API as
+:class:`~repro.pods.service.PodService` /
+:class:`~repro.pods.service.ShardedPodService` -- ``create_session`` /
+``submit`` / ``submit_batch`` / ``run_session`` / ``drive`` /
+``session`` / ``close_session`` / ``metrics`` -- so workload drivers
+and parity suites written against the in-process services (e.g.
+:func:`repro.commerce.workloads.simulate_concurrent_customers`) run
+unchanged against a live :class:`~repro.server.frontend.PodServer`.
+
+Wire messages carry facts, never schemas, so the client holds its own
+copy of the transducer (cheap: schemas and programs, no session state)
+purely to rebuild typed :class:`~repro.relalg.instance.Instance`
+objects -- step outputs over the output schema, log entries over the
+log schema, state over the state schema.  Equality with in-process
+results is therefore exact, which is what the byte-identical parity
+tests assert.
+
+Typed errors round-trip: a 4xx/5xx response carries an error envelope,
+and the client raises the same exception type an in-process caller
+would see -- :class:`~repro.errors.SessionError` for a bad session,
+:class:`~repro.errors.AuditViolation` with findings,
+:class:`~repro.errors.Backpressure` for queue overflow (HTTP 429).
+Transport failures (connection refused, malformed response) raise
+:class:`~repro.errors.ServerError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.errors import ServerError, WireError
+from repro.pods.api import (
+    SessionHandle,
+    SessionSnapshot,
+    StepRequest,
+    StepResult,
+    session_id_of,
+)
+from repro.pods.session import SessionLog
+from repro.server import wire
+
+if TYPE_CHECKING:
+    from repro.core.transducer import InputLike, RelationalTransducer
+    from repro.relalg.instance import Instance
+
+
+class ClientSessionView:
+    """A read-only session view built from one snapshot fetch.
+
+    Quacks like :class:`~repro.pods.session.Session` where read paths
+    care: ``steps``, ``state``, ``log()``, ``snapshot()``.  The view is
+    a point-in-time copy -- fetch a fresh one (``client.session(...)``)
+    after more traffic.
+    """
+
+    def __init__(
+        self,
+        snapshot: SessionSnapshot,
+        transducer: "RelationalTransducer",
+    ) -> None:
+        from repro.relalg.instance import Instance
+
+        schema = transducer.schema
+        self.session_id = snapshot.session_id
+        self.steps = snapshot.steps
+        self.state: "Instance" = Instance(schema.state, snapshot.state_facts)
+        self._entries = tuple(
+            Instance(schema.log_schema, entry)
+            for entry in snapshot.log_facts
+        )
+        self._snapshot = snapshot
+
+    def log(self) -> SessionLog:
+        return SessionLog(self.session_id, self._entries)
+
+    def snapshot(self) -> SessionSnapshot:
+        return self._snapshot
+
+
+class ClientMetricsView:
+    """``client.metrics`` -- duck-types the ``metrics`` attribute of a
+    service: ``snapshot()`` returns the merged per-worker counters."""
+
+    def __init__(self, client: "PodClient") -> None:
+        self._client = client
+
+    def snapshot(self) -> dict:
+        return self._client.metrics_payload()["pods"]
+
+
+class PodClient:
+    """Speak the pod wire protocol to a server at ``base_url``.
+
+    ``transducer`` must be (an equal copy of) the transducer the server
+    runs -- typically the same module-level factory the server was
+    configured with, called locally.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        transducer: "RelationalTransducer",
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._transducer = transducer
+        self.metrics = ClientMetricsView(self)
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                envelope = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                raise ServerError(
+                    f"HTTP {error.code} from {method} {path}: "
+                    f"{raw[:200]!r}"
+                ) from None
+            wire.parse_message(envelope)  # raises the typed error
+            # A non-error envelope on a 4xx/5xx (e.g. the degraded
+            # /healthz payload on 503) is still a valid message; let
+            # the caller interpret it.
+            return envelope
+        except urllib.error.URLError as error:
+            raise ServerError(
+                f"cannot reach pod server at {url}: {error.reason}"
+            ) from None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise WireError(
+                f"non-JSON response from {method} {path}: {error}"
+            ) from None
+
+    def _post(self, path: str, kind: str, body: dict, expect: str) -> dict:
+        envelope = self._request("POST", path, wire.message(kind, body))
+        return wire.parse_message(envelope, expect=expect)
+
+    def _get(self, path: str, expect: str) -> dict:
+        return wire.parse_message(self._request("GET", path), expect=expect)
+
+    # -- the service surface ---------------------------------------------------
+
+    def create_session(
+        self, session_id: "str | None" = None
+    ) -> SessionHandle:
+        body = {} if session_id is None else {"session_id": session_id}
+        reply = self._post("/v1/sessions", "create", body, "handle")
+        return wire.decode_handle(reply)
+
+    def create_sessions(self, count: int) -> list[SessionHandle]:
+        return [self.create_session() for _ in range(count)]
+
+    def submit(self, request: StepRequest) -> StepResult:
+        reply = self._post(
+            "/v1/submit", "submit", wire.encode_step_request(request), "result"
+        )
+        return wire.decode_step_result(reply, self._transducer.schema.outputs)
+
+    def submit_batch(
+        self,
+        requests: Iterable[StepRequest],
+        *,
+        concurrency: "int | None" = None,
+    ) -> list[StepResult]:
+        encoded = [wire.encode_step_request(r) for r in requests]
+        reply = self._post(
+            "/v1/submit_batch",
+            "batch",
+            {"requests": encoded, "concurrency": concurrency},
+            "results",
+        )
+        outputs = self._transducer.schema.outputs
+        return [
+            wire.decode_step_result(body, outputs)
+            for body in reply.get("results", ())
+        ]
+
+    def run_session(
+        self,
+        session: "SessionHandle | str",
+        input_sequence: "Sequence[InputLike]",
+    ) -> list[StepResult]:
+        return self.submit_batch(
+            StepRequest(session, inputs) for inputs in input_sequence
+        )
+
+    def drive(
+        self,
+        workload: "Mapping[SessionHandle | str, Sequence[InputLike]]",
+        round_robin: bool = True,
+    ) -> None:
+        """Same semantics as the in-process ``drive``; the round-robin
+        interleaving travels as one batch (per-session order is what
+        the runtime guarantees, and it is preserved either way)."""
+        items = sorted(
+            workload.items(), key=lambda item: session_id_of(item[0])
+        )
+        requests: list[StepRequest] = []
+        if round_robin:
+            position = 0
+            remaining = True
+            while remaining:
+                remaining = False
+                for session, sequence in items:
+                    if position < len(sequence):
+                        requests.append(
+                            StepRequest(session, sequence[position])
+                        )
+                        remaining = (
+                            remaining or position + 1 < len(sequence)
+                        )
+                position += 1
+        else:
+            for session, sequence in items:
+                requests.extend(
+                    StepRequest(session, inputs) for inputs in sequence
+                )
+        if requests:
+            self.submit_batch(requests)
+
+    def session(self, session: "SessionHandle | str") -> ClientSessionView:
+        body = {"session_id": session_id_of(session)}
+        reply = self._post("/v1/snapshot", "snapshot", body, "snapshot")
+        return ClientSessionView(
+            wire.decode_snapshot(reply), self._transducer
+        )
+
+    def has_session(self, session: "SessionHandle | str") -> bool:
+        return session_id_of(session) in self.session_ids()
+
+    def session_ids(self) -> list[str]:
+        reply = self._get("/v1/sessions", "ids")
+        return list(reply.get("session_ids", ()))
+
+    def close_session(self, session: "SessionHandle | str") -> SessionLog:
+        body = {"session_id": session_id_of(session)}
+        reply = self._post("/v1/close", "close", body, "log")
+        return SessionLog(
+            reply.get("session_id", body["session_id"]),
+            wire.decode_log_entries(
+                reply.get("entries", ()), self._transducer.schema.log_schema
+            ),
+        )
+
+    def flush(self) -> int:
+        reply = self._post("/v1/flush", "flush", {}, "flushed")
+        return int(reply.get("flushed", 0))
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_payload(self) -> dict:
+        """The full ``/v1/metrics`` body: ``server`` config + merged
+        ``pods`` counters + ``per_worker`` breakdown."""
+        return self._get("/v1/metrics", "metrics")
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` body -- degraded servers answer 503 with
+        the same payload shape (``status`` says so), not an error."""
+        return self._get("/healthz", "health")

@@ -1,0 +1,578 @@
+"""The process-level pod server: parity, backpressure, supervision.
+
+The acceptance bar of the server subsystem:
+
+* *parity*: results, logs, states, and snapshots obtained through a
+  live HTTP server are byte-identical to an in-process
+  :class:`~repro.pods.service.ShardedPodService` over the same traffic
+  (fixed scripts and hypothesis-random interleavings);
+* *backpressure*: overflowing a worker's admission window is a typed
+  :class:`~repro.errors.Backpressure` (HTTP 429) -- never a hang;
+* *supervision*: a hard-killed worker is detected, restarted, and
+  rehydrated from its write-through store with identical logs;
+* *typed errors*: session and audit errors cross the wire as the same
+  exception types an in-process caller sees;
+* *entry point*: ``python -m repro.server`` starts, serves ``/healthz``,
+  and shuts down cleanly on SIGTERM.
+
+Every server in this module binds port 0 (an OS-assigned free port),
+so tests never collide.  The module-scoped parity server is shared by
+the hypothesis examples -- each example uses fresh, uniquely prefixed
+session ids instead of a fresh server, keeping the suite fast.
+"""
+
+import itertools
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commerce.catalog import CatalogGenerator
+from repro.commerce.models import (
+    build_buggy_store,
+    build_friendly,
+    build_short,
+    default_database,
+)
+from repro.commerce.workloads import (
+    SessionGenerator,
+    simulate_concurrent_customers,
+)
+from repro.errors import (
+    AuditViolation,
+    Backpressure,
+    ServerError,
+    SessionError,
+)
+from repro.pods import ShardedPodService, SqliteStore, StepRequest
+from repro.pods.service import PodService
+from repro.server import PodClient, PodServer
+from repro.verify.api import LogValidity, OnlineAuditor
+
+CATALOG = CatalogGenerator(seed=11).generate(20)
+
+#: Unique session-id prefixes so hypothesis examples can share one
+#: server without id collisions.
+_PREFIX = itertools.count()
+
+
+def fresh_prefix() -> str:
+    return f"w{next(_PREFIX):04d}"
+
+
+def scripts_for(counts, seed, prefix):
+    return {
+        f"{prefix}-customer-{index:02d}": SessionGenerator(
+            CATALOG, seed=seed * 1_000_003 + index
+        ).session(count)
+        for index, count in enumerate(counts)
+    }
+
+
+def batch_of(scripts, order):
+    ids = sorted(scripts)
+    cursors = dict.fromkeys(ids, 0)
+    batch = []
+    for index in order:
+        session_id = ids[index]
+        batch.append(
+            StepRequest(session_id, scripts[session_id][cursors[session_id]])
+        )
+        cursors[session_id] += 1
+    return batch
+
+
+def strict_short_auditor(shard_index):
+    """Module-level (picklable) auditor factory for the spawn workers."""
+    return OnlineAuditor(
+        [LogValidity()], reference=build_short(), strict=True
+    )
+
+
+@pytest.fixture(scope="module")
+def parity_server():
+    with PodServer(
+        build_friendly, CATALOG.as_database(), workers=2, queue_depth=32
+    ) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def client(parity_server):
+    return PodClient(parity_server.url, build_friendly())
+
+
+# -- serial-vs-server parity ---------------------------------------------------
+
+
+class TestParity:
+    def run_both(self, client, scripts, order, concurrency=None):
+        reference = ShardedPodService(
+            build_friendly(), CATALOG.as_database(), shards=2
+        )
+        for session_id in sorted(scripts):
+            handle = client.create_session(session_id)
+            assert reference.create_session(session_id) == handle
+        batch = batch_of(scripts, order)
+        expected = reference.submit_batch(batch, concurrency=1)
+        results = client.submit_batch(batch, concurrency=concurrency)
+        return reference, expected, results
+
+    def assert_equivalent(self, client, reference, scripts, expected, results):
+        assert [r.step for r in results] == [r.step for r in expected]
+        assert [r.output for r in results] == [r.output for r in expected]
+        assert [r.session for r in results] == [r.session for r in expected]
+        for session_id in scripts:
+            view = client.session(session_id)
+            ref = reference.session(session_id)
+            assert view.steps == ref.steps
+            assert view.state == ref.state
+            assert list(view.log().entries) == list(ref.log().entries)
+            # Snapshot facts are the persistence bytes: compare them
+            # too, not just the typed views.
+            assert view.snapshot() == ref.snapshot()
+
+    def test_fixed_interleaved_workload(self, client):
+        prefix = fresh_prefix()
+        scripts = scripts_for([4, 4, 4], seed=7, prefix=prefix)
+        order = [i for _step in range(4) for i in range(3)]
+        reference, expected, results = self.run_both(client, scripts, order)
+        self.assert_equivalent(client, reference, scripts, expected, results)
+
+    def test_in_worker_concurrency_changes_nothing(self, client):
+        prefix = fresh_prefix()
+        scripts = scripts_for([3, 3, 3, 3], seed=21, prefix=prefix)
+        order = [i for _step in range(3) for i in range(4)]
+        reference, expected, results = self.run_both(
+            client, scripts, order, concurrency=4
+        )
+        self.assert_equivalent(client, reference, scripts, expected, results)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 4), min_size=1, max_size=4),
+        seed=st.integers(0, 999),
+        data=st.data(),
+    )
+    def test_random_interleavings(self, client, counts, seed, data):
+        multiset = [i for i, count in enumerate(counts) for _ in range(count)]
+        order = data.draw(st.permutations(multiset))
+        scripts = scripts_for(counts, seed, prefix=fresh_prefix())
+        reference, expected, results = self.run_both(
+            client, scripts, list(order)
+        )
+        self.assert_equivalent(client, reference, scripts, expected, results)
+
+    def test_submit_one_at_a_time(self, client):
+        prefix = fresh_prefix()
+        handle = client.create_session(f"{prefix}-solo")
+        reference = ShardedPodService(
+            build_friendly(), CATALOG.as_database(), shards=2
+        )
+        ref_handle = reference.create_session(f"{prefix}-solo")
+        script = SessionGenerator(CATALOG, seed=5).session(4)
+        for inputs in script:
+            got = client.submit(StepRequest(handle, inputs))
+            want = reference.submit(StepRequest(ref_handle, inputs))
+            assert (got.step, got.output) == (want.step, want.output)
+
+    def test_workload_driver_runs_unchanged(self):
+        """simulate_concurrent_customers(service=PodClient) reproduces
+        the in-process report over the same seeded traffic."""
+        kwargs = dict(
+            sessions=6,
+            steps_per_session=4,
+            seed=3,
+            keep_logs=True,
+            sample_sessions=3,
+        )
+        reference = simulate_concurrent_customers(
+            build_friendly(), CATALOG, **kwargs
+        )
+        with PodServer(
+            build_friendly, CATALOG.as_database(), workers=2
+        ) as server:
+            report = simulate_concurrent_customers(
+                build_friendly(),
+                CATALOG,
+                service=PodClient(server.url, build_friendly()),
+                **kwargs,
+            )
+        assert report.sample_log_lengths == reference.sample_log_lengths
+        assert report.total_steps == reference.total_steps
+
+
+# -- observability -------------------------------------------------------------
+
+
+class TestObservability:
+    def test_healthz(self, parity_server, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert [w["shard"] for w in payload["workers"]] == [0, 1]
+        assert all(w["alive"] for w in payload["workers"])
+
+    def test_metrics_merge_and_shape(self, client):
+        prefix = fresh_prefix()
+        handle = client.create_session(f"{prefix}-m")
+        client.run_session(
+            handle, SessionGenerator(CATALOG, seed=1).session(3)
+        )
+        payload = client.metrics_payload()
+        assert payload["server"]["workers"] == 2
+        assert payload["server"]["cpu_count"] == os.cpu_count()
+        assert len(payload["per_worker"]) == 2
+        merged = payload["pods"]
+        assert merged["steps_executed"] == sum(
+            row["steps_executed"] for row in payload["per_worker"]
+        )
+        assert merged["steps_executed"] >= 3
+        # metrics.snapshot() duck-types the in-process surface (the
+        # elapsed clock advances between fetches, so compare counters)
+        live = client.metrics.snapshot()
+        assert live["steps_executed"] >= merged["steps_executed"]
+        assert live["sessions_created"] == merged["sessions_created"]
+
+    def test_session_ids_and_close(self, client):
+        prefix = fresh_prefix()
+        handle = client.create_session(f"{prefix}-c")
+        script = SessionGenerator(CATALOG, seed=2).session(2)
+        client.run_session(handle, script)
+        assert f"{prefix}-c" in client.session_ids()
+        assert client.has_session(handle)
+        log = client.close_session(handle)
+        assert len(log.entries) == 2
+        assert f"{prefix}-c" not in client.session_ids()
+
+    def test_generated_ids_are_unique(self, client):
+        handles = [client.create_session() for _ in range(5)]
+        ids = [h.session_id for h in handles]
+        assert len(set(ids)) == 5
+        for handle in handles:
+            assert handle.shard == parity_route(handle.session_id)
+
+
+def parity_route(session_id: str) -> int:
+    from repro.pods.service import shard_of
+
+    return shard_of(session_id, 2)
+
+
+# -- typed errors over the wire ------------------------------------------------
+
+
+class TestTypedErrors:
+    def test_unknown_session(self, client):
+        with pytest.raises(SessionError, match="no such session"):
+            client.submit(StepRequest("never-created", {}))
+
+    def test_duplicate_create(self, client):
+        session_id = f"{fresh_prefix()}-dup"
+        client.create_session(session_id)
+        with pytest.raises(SessionError, match="already exists"):
+            client.create_session(session_id)
+
+    def test_garbage_body_is_wire_error_429_style(self, parity_server):
+        request = urllib.request.Request(
+            parity_server.url + "/v1/submit",
+            data=b"this is not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 400
+        envelope = json.loads(caught.value.read())
+        assert envelope["body"]["code"] == "wire-error"
+
+    def test_unknown_wire_version_rejected(self, parity_server):
+        request = urllib.request.Request(
+            parity_server.url + "/v1/submit",
+            data=json.dumps({"v": 99, "kind": "submit", "body": {}}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 400
+        assert json.loads(caught.value.read())["body"]["code"] == "wire-error"
+
+    def test_unknown_endpoint_is_404(self, parity_server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(
+                parity_server.url + "/v1/nonsense", timeout=10
+            )
+        assert caught.value.code == 404
+
+    def test_audit_violation_crosses_the_wire(self):
+        with PodServer(
+            build_buggy_store,
+            default_database(),
+            workers=1,
+            auditor_factory=strict_short_auditor,
+        ) as server:
+            client = PodClient(server.url, build_buggy_store())
+            handle = client.create_session("alice")
+            client.submit(StepRequest(handle, {"order": {("time",)}}))
+            # the buggy store delivers unpaid on an empty step: the
+            # strict LogValidity audit rejects it -- typed, with
+            # findings, across HTTP.
+            with pytest.raises(AuditViolation) as caught:
+                client.submit(StepRequest(handle, {}))
+            assert caught.value.findings
+            assert caught.value.findings[0].session_id == "alice"
+            # the violating step was applied and persisted (audit runs
+            # after apply), same as in-process semantics
+            assert client.session(handle).steps == 2
+
+
+# -- backpressure --------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_queue_overflow_is_typed_429_not_a_hang(self):
+        with PodServer(
+            build_short, default_database(), workers=1, queue_depth=2
+        ) as server:
+            client = PodClient(server.url, build_short())
+            handle = client.create_session("bp")
+            worker = server.worker(0)
+
+            # Saturate both admission slots with deliberately slow ops.
+            def occupy():
+                worker.call("sleep", {"seconds": 1.5})
+
+            threads = [
+                threading.Thread(target=occupy, daemon=True)
+                for _ in range(2)
+            ]
+            started = time.monotonic()
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            with pytest.raises(Backpressure) as caught:
+                client.submit(StepRequest(handle, {"order": {("time",)}}))
+            # rejected fast -- the whole point of admission control
+            assert time.monotonic() - started < 1.5
+            assert caught.value.shard == 0
+            assert caught.value.queue_depth == 2
+            for thread in threads:
+                thread.join()
+            # drained: the same request is admitted and served
+            result = client.submit(
+                StepRequest(handle, {"order": {("time",)}})
+            )
+            assert result.step == 1
+
+    def test_backpressure_http_status_is_429(self):
+        with PodServer(
+            build_short, default_database(), workers=1, queue_depth=1
+        ) as server:
+            worker = server.worker(0)
+            thread = threading.Thread(
+                target=lambda: worker.call("sleep", {"seconds": 1.5}),
+                daemon=True,
+            )
+            thread.start()
+            time.sleep(0.3)
+            body = json.dumps(
+                {
+                    "v": 1,
+                    "kind": "submit",
+                    "body": {"session": "bp", "inputs": {}},
+                }
+            ).encode()
+            request = urllib.request.Request(
+                server.url + "/v1/submit", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10)
+            assert caught.value.code == 429
+            envelope = json.loads(caught.value.read())
+            assert envelope["body"]["code"] == "backpressure"
+            thread.join()
+
+
+# -- supervision: crash, restart, rehydrate ------------------------------------
+
+
+class TestSupervision:
+    def test_kill_restart_rehydrate_identical_logs(self):
+        script = SessionGenerator(CATALOG, seed=9).session(6)
+        with PodServer(
+            build_friendly, CATALOG.as_database(), workers=1
+        ) as server:
+            client = PodClient(server.url, build_friendly())
+            handle = client.create_session("crashy")
+            client.run_session(handle, script[:3])
+            worker = server.worker(0)
+            first_pid = worker.pid()
+            worker.kill()
+            assert not worker.alive
+            degraded = client.healthz()
+            assert degraded["status"] == "degraded"
+            # next traffic restarts the worker and rehydrates the
+            # session from the write-through store, transparently
+            client.run_session(handle, script[3:])
+            assert worker.alive and worker.pid() != first_pid
+            assert worker.restarts == 1
+            assert client.healthz()["status"] == "ok"
+            view = client.session(handle)
+        reference = PodService(build_friendly(), CATALOG.as_database())
+        reference.run_session(reference.create_session("crashy"), script)
+        ref = reference.session("crashy")
+        assert view.steps == ref.steps
+        assert view.state == ref.state
+        assert list(view.log().entries) == list(ref.log().entries)
+
+    def test_server_restart_over_same_store_continues(self, tmp_path):
+        script = SessionGenerator(CATALOG, seed=12).session(4)
+        root = str(tmp_path / "pods")
+        with PodServer(
+            build_friendly, CATALOG.as_database(), workers=2, store_root=root
+        ) as server:
+            client = PodClient(server.url, build_friendly())
+            handle = client.create_session("durable")
+            client.run_session(handle, script[:2])
+        with PodServer(
+            build_friendly, CATALOG.as_database(), workers=2, store_root=root
+        ) as server:
+            client = PodClient(server.url, build_friendly())
+            client.run_session("durable", script[2:])
+            view = client.session("durable")
+        reference = PodService(build_friendly(), CATALOG.as_database())
+        reference.run_session(reference.create_session("durable"), script)
+        assert view.steps == 4
+        assert list(view.log().entries) == list(
+            reference.session("durable").log().entries
+        )
+
+    def test_graceful_shutdown_flushes_sqlite_batched(self, tmp_path):
+        root = str(tmp_path / "pods")
+        with PodServer(
+            build_short,
+            default_database(),
+            workers=1,
+            store_root=root,
+            store_kind="sqlite",
+            durability="batched",
+        ) as server:
+            client = PodClient(server.url, build_short())
+            handle = client.create_session("flushed")
+            client.submit(StepRequest(handle, {"order": {("time",)}}))
+        # shutdown drained the worker: the batched write-behind buffer
+        # reached the SQLite file before the process exited
+        store = SqliteStore(os.path.join(root, "shard-00.sqlite"))
+        try:
+            snapshot = store.load("flushed")
+            assert snapshot is not None and snapshot.steps == 1
+        finally:
+            store.close()
+
+
+# -- configuration knobs -------------------------------------------------------
+
+
+class TestServerKnobs:
+    """REPRO_SERVER_* flow through the same validated env helper as
+    REPRO_BATCH_CONCURRENCY / REPRO_MAX_RESIDENT."""
+
+    def test_env_knobs_apply(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SERVER_QUEUE_DEPTH", "5")
+        monkeypatch.setenv("REPRO_SERVER_CONCURRENCY", "2")
+        server = PodServer(build_short, default_database())  # not started
+        assert server.worker_count == 3
+        assert server.queue_depth == 5
+        assert server.worker_concurrency == 2
+
+    @pytest.mark.parametrize(
+        "variable",
+        [
+            "REPRO_SERVER_WORKERS",
+            "REPRO_SERVER_QUEUE_DEPTH",
+            "REPRO_SERVER_CONCURRENCY",
+        ],
+    )
+    def test_non_integer_rejected_with_clear_message(
+        self, monkeypatch, variable
+    ):
+        monkeypatch.setenv(variable, "many")
+        with pytest.raises(ServerError, match="need an integer"):
+            PodServer(build_short, default_database())
+
+    @pytest.mark.parametrize(
+        "variable",
+        ["REPRO_SERVER_WORKERS", "REPRO_SERVER_QUEUE_DEPTH"],
+    )
+    def test_below_minimum_rejected(self, monkeypatch, variable):
+        monkeypatch.setenv(variable, "0")
+        with pytest.raises(ServerError, match=">= 1"):
+            PodServer(build_short, default_database())
+
+    def test_explicit_arguments_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVER_WORKERS", "many")  # never read
+        server = PodServer(
+            build_short,
+            default_database(),
+            workers=2,
+            queue_depth=7,
+            worker_concurrency=3,
+        )
+        assert server.worker_count == 2
+        assert server.queue_depth == 7
+
+    def test_bad_store_kind(self):
+        with pytest.raises(ServerError, match="store_kind"):
+            PodServer(build_short, default_database(), store_kind="parquet")
+
+
+# -- the module entry point ----------------------------------------------------
+
+
+class TestModuleEntryPoint:
+    def test_start_healthz_sigterm_clean_exit(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line
+            url = line.strip().split()[-1]
+            deadline = time.monotonic() + 30
+            payload = None
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(
+                        url + "/healthz", timeout=5
+                    ) as response:
+                        payload = json.loads(response.read())
+                    break
+                except (urllib.error.URLError, OSError):
+                    time.sleep(0.2)
+            assert payload is not None and payload["body"]["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+            assert "shut down cleanly" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)

@@ -783,3 +783,119 @@ class TestStoreLifecycleDefaults:
         assert service.flush() == 0  # treated as write-through
         with pytest.raises(SessionError, match="not a session store"):
             PodService(build_short(), default_database(), store=42)
+
+
+class TestBatchedDurabilityExitDrain:
+    """Regression: ``durability="batched"`` must not lose its
+    write-behind buffer when the process exits without ``flush()``.
+
+    Before the exit hooks, a SIGTERM (or a plain ``sys.exit``) between
+    flushes silently dropped every event acknowledged since the last
+    commit -- steps the caller had already seen results for.  Now an
+    atexit hook drains open batched stores on interpreter exit, and a
+    SIGTERM drain runs when the process still had the default handler
+    (then re-raises the signal so kill semantics are preserved).
+    """
+
+    CHILD = """
+import os, sys, time
+from repro.commerce.models import build_short, default_database
+from repro.pods import PodService, SqliteStore, StepRequest
+
+store = SqliteStore(sys.argv[1], durability="batched", flush_every=10_000)
+service = PodService(build_short(), default_database(), store=store)
+handle = service.create_session("alice")
+service.submit(StepRequest(handle, {"order": {("time",)}}))
+service.submit(StepRequest(handle, {"pay": {("time", 55)}}))
+# nothing flushed: both steps live only in the write-behind buffer
+print("READY", flush=True)
+{ending}
+"""
+
+    def _run_child(self, tmp_path, ending, kill=False):
+        import signal as signal_module
+        import subprocess
+        import sys as sys_module
+
+        db = str(tmp_path / "sessions.sqlite")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [
+                sys_module.executable,
+                "-c",
+                self.CHILD.replace("{ending}", ending),
+                db,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdout.readline().startswith("READY")
+            if kill:
+                proc.send_signal(signal_module.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+        return db, proc.returncode, err
+
+    def _assert_both_steps_durable(self, db):
+        store = SqliteStore(db)
+        try:
+            snapshot = store.load("alice")
+            assert snapshot is not None, "buffered session lost"
+            assert snapshot.steps == 2
+            assert len(snapshot.log_facts) == 2
+        finally:
+            store.close()
+
+    def test_sigterm_midway_drains_buffer(self, tmp_path):
+        db, returncode, err = self._run_child(
+            tmp_path, "time.sleep(60)", kill=True
+        )
+        # killed by SIGTERM (the drain re-raises it), not a clean exit
+        assert returncode != 0, err
+        self._assert_both_steps_durable(db)
+
+    def test_plain_interpreter_exit_drains_buffer(self, tmp_path):
+        db, returncode, err = self._run_child(tmp_path, "sys.exit(0)")
+        assert returncode == 0, err
+        self._assert_both_steps_durable(db)
+
+    def test_abandoned_store_object_drains_on_gc(self, tmp_path):
+        """A batched store dropped without close() flushes best-effort
+        when collected -- the in-process safety net under the hooks."""
+        import gc
+
+        db = str(tmp_path / "gc.sqlite")
+        store = SqliteStore(db, durability="batched", flush_every=10_000)
+        store.record_created("gc-session")
+        del store
+        gc.collect()
+        reopened = SqliteStore(db)
+        try:
+            assert "gc-session" in reopened.session_ids()
+        finally:
+            reopened.close()
+
+    def test_drain_open_stores_counts_events(self, tmp_path):
+        from repro.pods.sqlite_store import drain_open_stores
+
+        store = SqliteStore(
+            str(tmp_path / "drain.sqlite"),
+            durability="batched",
+            flush_every=10_000,
+        )
+        try:
+            store.record_created("a")
+            assert drain_open_stores() >= 1
+            assert drain_open_stores() == 0  # idempotent once flushed
+        finally:
+            store.close()
