@@ -184,7 +184,7 @@ def test_repo_records_are_loadable():
     records = load_records(Path(__file__).resolve().parent.parent)
     names = {name for name, _record in records}
     for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19",
-                     "BENCH_e20", "BENCH_e21", "BENCH_e22"):
+                     "BENCH_e20", "BENCH_e21", "BENCH_e22", "BENCH_e23"):
         assert any(name.startswith(expected) for name in names)
     # The table and chart must render whatever mix of schemas exists,
     # headline or not.
@@ -275,6 +275,45 @@ def test_e22_record_claims_hold():
     # cpu_count is recorded so a reader can tell whether the grid *should*
     # have scaled (multi-core) or stayed flat (single core).
     assert record["cpu_count"] >= 1
+
+
+def test_e23_record_claims_hold():
+    """The committed E23 record must cover the scenario x store x
+    concurrency matrix -- >= 4 genuinely new scenarios, >= 2 stores,
+    >= 2 concurrency levels -- with clean audits everywhere except the
+    adversarial cells, a real audit-under-attack measurement, and every
+    scenario crossing the HTTP wire byte-identically (PR 8's acceptance
+    criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e23.json").read_text())
+    assert {"feed-delivery", "auction", "data-exchange", "adversarial"} <= set(
+        record["scenarios"]
+    )
+    assert len(record["stores"]) >= 2
+    assert len(record["concurrency_grid"]) >= 2
+    matrix = record["matrix"]
+    expected_cells = (
+        len(record["scenarios"])
+        * len(record["stores"])
+        * len(record["concurrency_grid"])
+    )
+    assert len(matrix) == expected_cells
+    keys = {(c["scenario"], c["store"], c["concurrency"]) for c in matrix}
+    assert len(keys) == expected_cells
+    assert all(c["steps_per_second"] > 0 for c in matrix)
+    for cell in matrix:
+        if cell["scenario"] == "adversarial":
+            assert cell["audit_violations"] > 0
+        else:
+            assert cell["audit_violations"] == 0
+            assert cell["audit_checks"] > 0
+    assert record["audit_under_attack_steps_per_second"] > 0
+    assert record["audit_under_attack_violations"] > 0
+    assert 0 < record["audit_under_attack_ratio"] <= 1.5
+    assert record["http_parity"]["all_match"] is True
+    assert set(record["http_parity"]["digests_match"]) == set(
+        record["scenarios"]
+    )
 
 
 # -- script entry point -------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.run import Run
 from repro.core.spocus import SpocusTransducer
 from repro.pods import PodService, SessionHandle, ShardedPodService
 from repro.relalg.instance import Instance
+from repro.verify.deprecation import warn_once
 
 
 @dataclass
@@ -160,7 +161,20 @@ def simulate_concurrent_customers(
     would have built).  The driver itself is identical either way,
     which is what makes in-process-vs-server comparisons apples to
     apples.
+
+    .. deprecated::
+        The registry's ``commerce`` scenario generates the identical
+        traffic (same session ids, seeds, and scripts); prefer
+        ``repro.scenarios.run_scenario("commerce", ...)``, which also
+        drives sharded services and :class:`~repro.server.client.
+        PodClient` through one open-loop path.
     """
+    warn_once(
+        "commerce.workloads.simulate_concurrent_customers",
+        "simulate_concurrent_customers() is deprecated; use "
+        'repro.scenarios.run_scenario("commerce", ...) -- the registry '
+        "scenario generates identical per-session traffic",
+    )
     supports_pending = "pending-bills" in transducer.schema.inputs
     if service is None:
         if shards == 1:

@@ -59,6 +59,15 @@ class ShardError(SessionError):
     """
 
 
+class ScenarioError(ReproError):
+    """A workload scenario is misdeclared or was looked up incorrectly.
+
+    Raised by :mod:`repro.scenarios` when a scenario class registers
+    without a name, two scenarios claim the same name, or a caller asks
+    the registry for a name it does not hold.
+    """
+
+
 class ServerError(ReproError):
     """The process-level pod server failed outside a session's semantics.
 

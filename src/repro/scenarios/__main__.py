@@ -1,0 +1,106 @@
+"""``python -m repro.scenarios`` -- list and run workload scenarios.
+
+    $ python -m repro.scenarios --list
+    $ python -m repro.scenarios --run feed-delivery --sessions 64 --steps 8
+    $ python -m repro.scenarios --run auction --shards 4 --concurrency 4 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenarios.registry import list_scenarios, scenario_names
+from repro.scenarios.runner import run_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List or run registered workload scenarios.",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
+    action.add_argument(
+        "--run", metavar="NAME", help="run one scenario's workload"
+    )
+    parser.add_argument("--sessions", type=int, default=64)
+    parser.add_argument(
+        "--steps", type=int, default=8, help="mean steps per session"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=int, default=None, help="database size knob"
+    )
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="submit_batch worker threads",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH", help="session store path"
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="drop the scenario's OnlineAuditor (pure throughput)",
+    )
+    parser.add_argument(
+        "--no-logs", action="store_true", help="disable log retention"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        width = max(len(name) for name in scenario_names())
+        for scenario in list_scenarios():
+            flags = []
+            if scenario.expects_violations:
+                flags.append("expects violations")
+            if scenario.bench_profile != "standard":
+                flags.append(scenario.bench_profile)
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            print(f"{scenario.name:<{width}}  {scenario.description}{suffix}")
+        return 0
+    report = run_scenario(
+        args.run,
+        sessions=args.sessions,
+        steps=args.steps,
+        seed=args.seed,
+        scale=args.scale,
+        shards=args.shards,
+        store=args.store,
+        concurrency=args.concurrency,
+        audit=not args.no_audit,
+        keep_logs=not args.no_logs,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"scenario          {report.scenario}")
+    print(f"sessions          {report.sessions}")
+    print(f"total steps       {report.total_steps}")
+    print(f"wall seconds      {report.wall_seconds:.3f}")
+    print(f"steps / second    {report.steps_per_second:,.0f}")
+    print(f"audit checks      {report.audit_checks}")
+    print(
+        f"audit violations  {report.audit_violations}"
+        + ("  (expected for this scenario)" if report.expects_violations else "")
+    )
+    if report.log_digest:
+        print(f"log digest        {report.log_digest[:16]}…")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Adversarial traffic: measure the auditor under attack.
+
+This scenario serves the deliberately broken store (``buggy``: the
+``deliver`` rule forgot its payment check) and sends traffic designed
+to trip it -- orders that are never paid, so unpaid deliveries fire on
+nearly every subsequent step.  The attached spec is the paper's "no
+delivery before payment" property, so an :class:`~repro.verify.api.
+OnlineAuditor` records a violation finding (with a replayable trace)
+for a large fraction of steps.
+
+That is the point: every other scenario measures audit overhead on
+*clean* traffic, where the violation plans match nothing.  Here the
+plans match constantly, findings accumulate, and the benchmark's
+"audit-under-attack" cell reports how much throughput survives when
+the auditor is doing maximal work.  ``expects_violations`` tells the
+equivalence suites that a clean audit of this scenario would itself be
+a bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.commerce.models import build_buggy_store
+from repro.scenarios.base import Scenario
+from repro.scenarios.commerce import _catalog, paid_delivery_spec
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.traffic import ZipfSampler
+
+__all__ = ["AdversarialScenario"]
+
+
+@register_scenario
+class AdversarialScenario(Scenario):
+    name = "adversarial"
+    description = (
+        "violating traffic against the buggy store: audit-under-attack"
+    )
+    expects_violations = True
+    default_scale = 50
+
+    def build_transducer(self):
+        return build_buggy_store()
+
+    def database(self, *, seed: int = 0, scale: int | None = None) -> dict:
+        return _catalog(seed, self.scale_of(scale)).as_database()
+
+    def specs(self):
+        return (paid_delivery_spec(),)
+
+    def session_script(self, index, *, seed, scale, length):
+        catalog = _catalog(seed, scale)
+        sampler = ZipfSampler(scale, exponent=1.0)
+        rng = random.Random(f"adversarial:session:{seed}:{index}")
+        script: list[dict] = []
+        for step in range(length):
+            roll = rng.random()
+            if step == 0 or roll < 0.7:
+                # Order and never pay: from the next step on, the buggy
+                # store keeps delivering unpaid products.
+                product = sampler.choice(rng, catalog.products)
+                script.append({"order": {(product,)}})
+            elif roll < 0.85:
+                # An honest payment now and then, to keep the violation
+                # plans joining against a moving state.
+                product = sampler.choice(rng, catalog.products)
+                script.append({"pay": {(product, catalog.priced(product))}})
+            else:
+                # An empty step: the buggy store still delivers.
+                script.append({})
+        return script

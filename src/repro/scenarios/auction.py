@@ -1,0 +1,133 @@
+"""An auction/bidding protocol audited by temporal properties.
+
+Each session is one bidder's pod interacting with a shared auction
+house: bids on items from a fixed ladder of amounts, closes, and the
+occasional straggler bid after close.  The protocol's invariants are
+purely temporal -- *sold implies a past bid*, *acks only before
+close*, *late only after close* -- which makes this the scenario that
+exercises :class:`~repro.verify.api.TemporalProperty` audits hardest.
+
+Arithmetic comparison ("a higher bid beats a lower one") is expressed
+relationally through the database's ``beats`` ladder, keeping the
+whole protocol inside the paper's semipositive-datalog fragment.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.core.spocus import SpocusTransducer
+from repro.datalog.ast import Variable
+from repro.logic.fol import Forall, Implies, Not, Rel
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.traffic import ZipfSampler
+from repro.verify.api import TemporalProperty
+
+__all__ = ["AuctionScenario", "build_auction_transducer", "BID_LADDER"]
+
+#: The fixed ladder of permissible bid amounts (cents).
+BID_LADDER = (100, 200, 300, 500, 800, 1300, 2100, 3400)
+
+
+def build_auction_transducer() -> SpocusTransducer:
+    return SpocusTransducer.make(
+        inputs={"bid": 2, "close": 1},
+        outputs={"ack": 2, "late": 2, "sold": 2, "outbid": 2},
+        database={"item": 1, "beats": 2},
+        rules="""
+        ack(I, A) :- bid(I, A), item(I), NOT past-close(I), NOT close(I);
+        late(I, A) :- bid(I, A), past-close(I);
+        sold(I, A) :- close(I), past-bid(I, A), item(I);
+        outbid(I, A) :- close(I), past-bid(I, A), past-bid(I, B), beats(B, A);
+        """,
+        log=("bid", "close", "sold"),
+    )
+
+
+@lru_cache(maxsize=32)
+def _items(scale: int) -> "tuple[str, ...]":
+    return tuple(f"lot{i:03d}" for i in range(scale))
+
+
+@register_scenario
+class AuctionScenario(Scenario):
+    name = "auction"
+    description = (
+        "bidding protocol: acks before close, sold needs a bid "
+        "(temporal-property audits)"
+    )
+    default_scale = 20
+
+    def build_transducer(self):
+        return build_auction_transducer()
+
+    def database(self, *, seed: int = 0, scale: int | None = None) -> dict:
+        scale = self.scale_of(scale)
+        beats = {
+            (str(a), str(b))
+            for a in BID_LADDER
+            for b in BID_LADDER
+            if a > b
+        }
+        return {
+            "item": {(item,) for item in _items(scale)},
+            "beats": beats,
+        }
+
+    def specs(self):
+        I, A = Variable("I"), Variable("A")
+        return (
+            TemporalProperty(
+                Forall(
+                    (I, A),
+                    Implies(Rel("sold", (I, A)), Rel("past-bid", (I, A))),
+                ),
+                name="sold only to an actual bidder",
+            ),
+            TemporalProperty(
+                Forall(
+                    (I, A),
+                    Implies(Rel("ack", (I, A)), Not(Rel("past-close", (I,)))),
+                ),
+                name="acks only while the lot is open",
+            ),
+            TemporalProperty(
+                Forall(
+                    (I, A),
+                    Implies(Rel("late", (I, A)), Rel("past-close", (I,))),
+                ),
+                name="late flags only after close",
+            ),
+        )
+
+    def session_script(self, index, *, seed, scale, length):
+        items = _items(scale)
+        sampler = ZipfSampler(scale, exponent=1.0)
+        rng = random.Random(f"auction:session:{seed}:{index}")
+        closed: set[str] = set()
+        bid_on: list[str] = []
+        script: list[dict] = []
+        for _step in range(length):
+            roll = rng.random()
+            if roll < 0.70 or not bid_on:
+                item = sampler.choice(rng, items)
+                amount = str(rng.choice(BID_LADDER))
+                script.append({"bid": {(item, amount)}})
+                if item not in closed and item not in bid_on:
+                    bid_on.append(item)
+            elif roll < 0.85:
+                # Close a lot this bidder has been active on.
+                item = bid_on.pop(rng.randrange(len(bid_on)))
+                closed.add(item)
+                script.append({"close": {(item,)}})
+            elif closed and roll < 0.95:
+                # Straggler bid after close -> the transducer answers
+                # `late`, which the audit requires (and verifies).
+                item = rng.choice(sorted(closed))
+                script.append({"bid": {(item, str(rng.choice(BID_LADDER)))}})
+            else:
+                item = sampler.choice(rng, items)
+                script.append({"bid": {(item, str(rng.choice(BID_LADDER)))}})
+        return script

@@ -1,0 +1,137 @@
+"""Multi-pod data exchange: the data contract as an audited firewall.
+
+The byoda data-contract idea: a pod holds data under tags (profile,
+contacts, location, ...) and a *contract* relation says which peer may
+read which tag.  Peers connect and request data; the transducer sends
+only what the contract allows and the peer's established connection
+covers, and denies the rest.
+
+The firewall is not trusted -- it is *audited*.  The pod's policy is
+restated as :class:`~repro.verify.api.PropertySpec` objects and an
+:class:`~repro.verify.api.OnlineAuditor` checks every live step: no
+``send`` without a matching contract entry, no ``send`` before the
+peer connected, and (as a Tsdi input discipline) no requests from
+unknown peers at all.  If a future refactor of the transducer ever
+leaks a tag, the auditor flags the exact step with a replayable trace.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.core.spocus import SpocusTransducer
+from repro.datalog.ast import Variable
+from repro.logic.fol import Forall, Implies, Rel
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.traffic import ZipfSampler
+from repro.verify.api import ErrorFreeness, TemporalProperty
+from repro.verify.tsdi import TsdiConjunct
+
+__all__ = ["ExchangeScenario", "build_exchange_transducer", "TAGS"]
+
+#: The data tags a pod serves, from public to sensitive.
+TAGS = ("public", "profile", "contacts", "location", "health")
+
+
+def build_exchange_transducer() -> SpocusTransducer:
+    return SpocusTransducer.make(
+        inputs={"connect": 1, "request": 2},
+        outputs={"linked": 1, "send": 2, "deny": 2},
+        database={"peer": 1, "contract": 2},
+        rules="""
+        linked(P) :- connect(P), peer(P);
+        send(P, T) :- request(P, T), contract(P, T), past-connect(P);
+        deny(P, T) :- request(P, T), NOT contract(P, T);
+        deny(P, T) :- request(P, T), NOT past-connect(P), NOT connect(P);
+        """,
+        log=("request", "send", "deny"),
+    )
+
+
+@lru_cache(maxsize=32)
+def _peers(scale: int) -> "tuple[str, ...]":
+    return tuple(f"pod-{i:03d}" for i in range(scale))
+
+
+@lru_cache(maxsize=32)
+def _contract(seed: int, scale: int) -> "dict[str, tuple[str, ...]]":
+    """Which tags each peer may read: always public, more with trust."""
+    rng = random.Random(f"exchange:contract:{seed}:{scale}")
+    contract: dict[str, tuple[str, ...]] = {}
+    for peer in _peers(scale):
+        granted = 1 + rng.randrange(len(TAGS))
+        contract[peer] = TAGS[:granted]
+    return contract
+
+
+@register_scenario
+class ExchangeScenario(Scenario):
+    name = "data-exchange"
+    description = (
+        "pod-to-pod data contracts; the OnlineAuditor is the firewall"
+    )
+    default_scale = 16
+
+    def build_transducer(self):
+        return build_exchange_transducer()
+
+    def database(self, *, seed: int = 0, scale: int | None = None) -> dict:
+        scale = self.scale_of(scale)
+        contract = _contract(seed, scale)
+        return {
+            "peer": {(peer,) for peer in _peers(scale)},
+            "contract": {
+                (peer, tag)
+                for peer, tags in contract.items()
+                for tag in tags
+            },
+        }
+
+    def specs(self):
+        P, T = Variable("P"), Variable("T")
+        return (
+            TemporalProperty(
+                Forall(
+                    (P, T),
+                    Implies(Rel("send", (P, T)), Rel("contract", (P, T))),
+                ),
+                name="firewall: no send outside the data contract",
+            ),
+            TemporalProperty(
+                Forall(
+                    (P, T),
+                    Implies(Rel("send", (P, T)), Rel("past-connect", (P,))),
+                ),
+                name="firewall: no send before the peer connected",
+            ),
+            ErrorFreeness.of_disciplines(
+                TsdiConjunct.parse("request(P, T)", "peer(P)"),
+            ),
+        )
+
+    def session_script(self, index, *, seed, scale, length):
+        peers = _peers(scale)
+        contract = _contract(seed, scale)
+        sampler = ZipfSampler(scale, exponent=1.0)
+        rng = random.Random(f"exchange:session:{seed}:{index}")
+        connected: list[str] = []
+        script: list[dict] = []
+        for step in range(length):
+            roll = rng.random()
+            if step == 0 or (roll < 0.15 and len(connected) < scale):
+                peer = sampler.choice(rng, peers)
+                script.append({"connect": {(peer,)}})
+                if peer not in connected:
+                    connected.append(peer)
+            else:
+                peer = connected[ZipfSampler(len(connected)).sample(rng)]
+                if rng.random() < 0.75:
+                    # A request the contract covers -> send.
+                    tag = rng.choice(contract[peer])
+                else:
+                    # Over-ask: any tag, contracted or not -> deny path.
+                    tag = rng.choice(TAGS)
+                script.append({"request": {(peer, tag)}})
+        return script

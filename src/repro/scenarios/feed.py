@@ -1,0 +1,120 @@
+"""Subscription/feed delivery with per-user filtering.
+
+The byoda-style pod shape: a user's pod subscribes to topics and polls
+for content; the transducer delivers only articles on topics the user
+subscribed to *before* the poll (per-user filtering as datalog), and
+answers polls on unsubscribed topics with an explicit ``nosub``.
+
+Traffic is Zipf-skewed over topics (a few hot topics absorb most
+subscriptions and polls) with heavy-tailed session lengths -- the
+realistic feed regime.
+
+The audit is the delivery policy itself, as two
+:class:`~repro.verify.api.TemporalProperty` specs: nothing is ever fed
+from a topic the user never subscribed to, and ``nosub`` never fires
+for a topic the user had subscribed to.  (The second formula also has
+to exclude a *same-step* subscribe: temporal monitors evaluate the
+post-step state, where the current step's inputs are already folded
+into ``past-subscribe``.)
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.core.spocus import SpocusTransducer
+from repro.datalog.ast import Variable
+from repro.logic.fol import Forall, Implies, Not, Rel
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.traffic import ZipfSampler
+from repro.verify.api import TemporalProperty
+
+__all__ = ["FeedScenario", "build_feed_transducer"]
+
+
+def build_feed_transducer() -> SpocusTransducer:
+    return SpocusTransducer.make(
+        inputs={"subscribe": 1, "poll": 1},
+        outputs={"ack": 1, "feed": 2, "nosub": 1},
+        database={"article": 2},
+        rules="""
+        ack(T) :- subscribe(T);
+        feed(T, I) :- poll(T), past-subscribe(T), article(T, I);
+        nosub(T) :- poll(T), NOT past-subscribe(T), NOT subscribe(T);
+        """,
+        log=("subscribe", "poll", "feed"),
+    )
+
+
+@lru_cache(maxsize=32)
+def _topics(scale: int) -> "tuple[str, ...]":
+    return tuple(f"topic{i:03d}" for i in range(scale))
+
+
+@register_scenario
+class FeedScenario(Scenario):
+    name = "feed-delivery"
+    description = (
+        "pod feeds: Zipf-skewed topic subscriptions, per-user filtered polls"
+    )
+    default_scale = 24
+
+    def build_transducer(self):
+        return build_feed_transducer()
+
+    def database(self, *, seed: int = 0, scale: int | None = None) -> dict:
+        # Hot topics publish more articles, mirroring the traffic skew.
+        scale = self.scale_of(scale)
+        rng = random.Random(f"feed:db:{seed}:{scale}")
+        articles: set[tuple] = set()
+        for rank, topic in enumerate(_topics(scale)):
+            count = rng.randint(2, 5) if rank < max(1, scale // 4) else rng.randint(1, 2)
+            for item in range(count):
+                articles.add((topic, f"{topic}/article{item}"))
+        return {"article": articles}
+
+    def specs(self):
+        T, I = Variable("T"), Variable("I")
+        return (
+            TemporalProperty(
+                Forall(
+                    (T, I),
+                    Implies(Rel("feed", (T, I)), Rel("past-subscribe", (T,))),
+                ),
+                name="feed only to subscribers",
+            ),
+            TemporalProperty(
+                Forall(
+                    (T,),
+                    Implies(Rel("nosub", (T,)), Not(Rel("past-subscribe", (T,)))),
+                ),
+                name="nosub only before subscription",
+            ),
+        )
+
+    def session_script(self, index, *, seed, scale, length):
+        topics = _topics(scale)
+        sampler = ZipfSampler(scale, exponent=1.1)
+        rng = random.Random(f"feed:session:{seed}:{index}")
+        subscribed: list[str] = []
+        script: list[dict] = []
+        for step in range(length):
+            roll = rng.random()
+            if step == 0 or (roll < 0.2 and len(subscribed) < scale):
+                topic = sampler.choice(rng, topics)
+                script.append({"subscribe": {(topic,)}})
+                if topic not in subscribed:
+                    subscribed.append(topic)
+            elif roll < 0.9 and subscribed:
+                # Poll a subscribed topic (recency-skewed toward the
+                # earliest -- hottest -- subscriptions).
+                topic = subscribed[
+                    ZipfSampler(len(subscribed)).sample(rng)
+                ]
+                script.append({"poll": {(topic,)}})
+            else:
+                # Poll an arbitrary topic; unsubscribed ones answer nosub.
+                script.append({"poll": {(sampler.choice(rng, topics),)}})
+        return script

@@ -1,0 +1,120 @@
+"""The scenario registry: ``@register_scenario`` and lookups.
+
+Scenarios self-register at import time via the decorator; the builtin
+scenario modules are imported lazily on first lookup so that importing
+:mod:`repro.scenarios.registry` alone stays cheap and cycle-free.
+
+:func:`scenario_transducer` and :func:`scenario_database` are
+module-level functions on purpose: ``functools.partial(
+scenario_transducer, name)`` is picklable, which is what lets
+``python -m repro.server --scenario NAME`` ship a scenario's transducer
+factory to spawn-context worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.errors import ScenarioError
+from repro.scenarios.base import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.spocus import SpocusTransducer
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "resolve_scenario",
+    "scenario_transducer",
+    "scenario_database",
+]
+
+_REGISTRY: "dict[str, Scenario]" = {}
+_BUILTINS_LOADED = False
+
+#: Builtin scenario modules, imported on first registry lookup.
+_BUILTIN_MODULES = (
+    "repro.scenarios.commerce",
+    "repro.scenarios.feed",
+    "repro.scenarios.auction",
+    "repro.scenarios.exchange",
+    "repro.scenarios.adversarial",
+    "repro.scenarios.examples",
+)
+
+
+def register_scenario(cls: "type[Scenario]") -> "type[Scenario]":
+    """Class decorator: instantiate the scenario and register it by name."""
+    scenario = cls()
+    if not scenario.name:
+        raise ScenarioError(
+            f"{cls.__name__} must set a non-empty `name` to register"
+        )
+    if scenario.name in _REGISTRY:
+        raise ScenarioError(
+            f"scenario name {scenario.name!r} is already registered "
+            f"(by {type(_REGISTRY[scenario.name]).__name__})"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return cls
+
+
+def load_builtin_scenarios() -> None:
+    """Import every builtin scenario module (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario called ``name``."""
+    load_builtin_scenarios()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def scenario_names() -> "list[str]":
+    """Sorted names of every registered scenario."""
+    load_builtin_scenarios()
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> "list[Scenario]":
+    """Every registered scenario, sorted by name."""
+    load_builtin_scenarios()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve_scenario(scenario: "Union[Scenario, str]") -> Scenario:
+    """A Scenario instance from either an instance or a registry name."""
+    if isinstance(scenario, Scenario):
+        return scenario
+    return get_scenario(scenario)
+
+
+def scenario_transducer(name: str) -> "SpocusTransducer":
+    """Build the named scenario's transducer.
+
+    Module-level so ``functools.partial(scenario_transducer, name)`` is
+    a picklable factory for spawn-context pod-server workers.
+    """
+    return get_scenario(name).build_transducer()
+
+
+def scenario_database(
+    name: str, *, seed: int = 0, scale: "int | None" = None
+) -> dict:
+    """Build the named scenario's database instance."""
+    return get_scenario(name).database(seed=seed, scale=scale)

@@ -1,0 +1,207 @@
+"""``run_scenario``: one driver for every scenario, every service.
+
+The driver expands a scenario into an open-loop request schedule and
+pushes it through ``create_session`` / ``submit_batch`` -- the only
+surface it touches -- so the *same* call works against an in-process
+:class:`~repro.pods.service.PodService`, a sharded service, or a
+:class:`~repro.server.client.PodClient` talking HTTP to a pod server.
+When no service is injected it builds one from the scenario bundle,
+with the scenario's own :class:`~repro.verify.api.PropertySpec` list
+attached as an :class:`~repro.verify.api.OnlineAuditor`.
+
+The returned :class:`ScenarioReport` carries throughput, the metrics
+snapshot, audit counters, and (when logs are retained) a canonical
+SHA-256 digest over every session log -- the equality token the
+determinism, store-parity and HTTP-parity suites compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
+
+from repro.pods.service import PodService, ShardedPodService
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import resolve_scenario
+from repro.scenarios.traffic import open_loop_schedule
+from repro.verify.api import OnlineAuditor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pods.api import StepRequest
+
+__all__ = ["ScenarioReport", "run_scenario", "make_auditor", "log_digest"]
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Outcome of one :func:`run_scenario` call.
+
+    ``audit_checks`` / ``audit_violations`` come from the service's
+    metrics snapshot (zero when the traffic ran unaudited, e.g. against
+    a server whose workers hold no auditor); ``log_digest`` is ``None``
+    unless logs were retained.
+    """
+
+    scenario: str
+    sessions: int
+    total_steps: int
+    wall_seconds: float
+    steps_per_second: float
+    expects_violations: bool
+    metrics: dict
+    audit_checks: int
+    audit_violations: int
+    findings: int
+    log_digest: "str | None"
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "sessions": self.sessions,
+            "total_steps": self.total_steps,
+            "wall_seconds": self.wall_seconds,
+            "steps_per_second": self.steps_per_second,
+            "expects_violations": self.expects_violations,
+            "audit_checks": self.audit_checks,
+            "audit_violations": self.audit_violations,
+            "findings": self.findings,
+            "log_digest": self.log_digest,
+        }
+
+
+def make_auditor(scenario: "Scenario | str") -> "OnlineAuditor | None":
+    """A fresh auditor over the scenario's specs (None if it has none)."""
+    scenario = resolve_scenario(scenario)
+    specs = scenario.specs()
+    if not specs:
+        return None
+    return OnlineAuditor(specs, reference=scenario.reference())
+
+
+def log_digest(service, session_ids: Iterable[str]) -> str:
+    """Canonical SHA-256 over the given sessions' logs.
+
+    Sessions are visited in sorted-id order; each log entry is reduced
+    to ``{relation: sorted rows}`` over its schema, so the digest is
+    independent of set iteration order, service implementation, and
+    which side of an HTTP boundary produced it.
+    """
+    payload = []
+    for session_id in sorted(session_ids):
+        log = service.session(session_id).log()
+        entries = [
+            {
+                name: sorted((list(row) for row in entry.get(name)), key=repr)
+                for name in sorted(entry)
+            }
+            for entry in log.entries
+        ]
+        payload.append([session_id, entries])
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _chunked(requests: "Sequence[StepRequest]", size: int):
+    for start in range(0, len(requests), size):
+        yield requests[start : start + size]
+
+
+def run_scenario(
+    scenario: "Union[Scenario, str]",
+    *,
+    service=None,
+    sessions: int = 32,
+    steps: int = 6,
+    seed: int = 0,
+    scale: "int | None" = None,
+    shards: int = 1,
+    store=None,
+    store_factory=None,
+    concurrency: "int | None" = None,
+    batch_size: int = 64,
+    audit: bool = True,
+    keep_logs: bool = True,
+    session_prefix: str = "",
+    arrival_rate: float = 4.0,
+    think_time: float = 1.0,
+) -> ScenarioReport:
+    """Drive one scenario's open-loop traffic through a pod service.
+
+    With ``service=None`` the driver builds the scenario's own service:
+    a :class:`PodService` (or, with ``shards > 1``, a
+    :class:`ShardedPodService` whose every shard gets its own auditor)
+    over ``store`` / ``store_factory``, audited by the scenario's specs
+    unless ``audit=False``.  An injected ``service`` -- including a
+    :class:`~repro.server.client.PodClient` -- is used as-is, and the
+    build-time knobs (``shards``, ``store*``, ``audit``, ``keep_logs``)
+    are ignored: they describe a service this call would have built.
+
+    ``steps`` is the *mean* session length; scenarios with heavy-tailed
+    lengths draw around it.  ``session_prefix`` namespaces session ids
+    so several runs can share one long-lived service.
+    """
+    scenario = resolve_scenario(scenario)
+    workload = scenario.workload(
+        sessions=sessions,
+        mean_steps=steps,
+        seed=seed,
+        scale=scale,
+        prefix=session_prefix,
+    )
+    schedule = open_loop_schedule(
+        workload, seed=seed, arrival_rate=arrival_rate, think_time=think_time
+    )
+    if service is None:
+        transducer = scenario.build_transducer()
+        database = scenario.database(seed=seed, scale=scale)
+        if shards == 1:
+            resolved_store = store_factory(0) if store_factory else store
+            service = PodService(
+                transducer,
+                database,
+                store=resolved_store,
+                keep_logs=keep_logs,
+                auditor=make_auditor(scenario) if audit else None,
+            )
+        else:
+            service = ShardedPodService(
+                transducer,
+                database,
+                shards=shards,
+                keep_logs=keep_logs,
+                store_factory=store_factory,
+                auditor_factory=(
+                    (lambda index: make_auditor(scenario)) if audit else None
+                ),
+            )
+    for session_id in workload.sessions:
+        service.create_session(session_id)
+    started = perf_counter()
+    for chunk in _chunked(schedule, batch_size):
+        service.submit_batch(chunk, concurrency=concurrency)
+    wall = perf_counter() - started
+    snapshot = service.metrics.snapshot()
+    find = getattr(service, "audit_findings", None)
+    findings = len(find()) if find is not None else 0
+    # Session.log() is empty when the service retains no logs -- in
+    # that case there is nothing meaningful to digest.
+    digest = None
+    if workload.sessions and len(service.session(workload.sessions[0]).log()):
+        digest = log_digest(service, workload.sessions)
+    total = len(schedule)
+    return ScenarioReport(
+        scenario=scenario.name,
+        sessions=len(workload.sessions),
+        total_steps=total,
+        wall_seconds=wall,
+        steps_per_second=(total / wall) if wall > 0 else float("inf"),
+        expects_violations=scenario.expects_violations,
+        metrics=snapshot,
+        audit_checks=snapshot.get("audit_checks", 0),
+        audit_violations=snapshot.get("audit_violations", 0),
+        findings=findings,
+        log_digest=digest,
+    )

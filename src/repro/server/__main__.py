@@ -41,11 +41,31 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.server",
         description="Serve commerce-model pods over HTTP.",
     )
-    parser.add_argument(
+    what = parser.add_mutually_exclusive_group()
+    what.add_argument(
         "--model",
         choices=sorted(MODELS),
-        default="short",
+        default=None,
         help="which commerce transducer the pods run (default: short)",
+    )
+    what.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help="serve a registered scenario's transducer + database "
+        "instead (see `python -m repro.scenarios --list`)",
+    )
+    parser.add_argument(
+        "--db-seed",
+        type=int,
+        default=0,
+        help="scenario database seed (with --scenario; default 0)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="scenario database size knob (with --scenario)",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
@@ -101,9 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.scenario is not None:
+        # functools.partial over the module-level registry lookup stays
+        # picklable for the spawn-context workers; the database is a
+        # pure function of (name, seed, scale), so clients rebuild the
+        # identical world locally for parity checks.
+        from functools import partial
+
+        from repro.scenarios import scenario_database, scenario_transducer
+
+        factory = partial(scenario_transducer, args.scenario)
+        database = scenario_database(
+            args.scenario, seed=args.db_seed, scale=args.scale
+        )
+    else:
+        factory = MODELS[args.model or "short"]
+        database = default_database()
     server = PodServer(
-        MODELS[args.model],
-        default_database(),
+        factory,
+        database,
         workers=args.workers,
         queue_depth=args.queue_depth,
         worker_concurrency=args.concurrency,
