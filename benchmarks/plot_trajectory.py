@@ -184,7 +184,8 @@ def test_repo_records_are_loadable():
     records = load_records(Path(__file__).resolve().parent.parent)
     names = {name for name, _record in records}
     for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19",
-                     "BENCH_e20", "BENCH_e21", "BENCH_e22", "BENCH_e23"):
+                     "BENCH_e20", "BENCH_e21", "BENCH_e22", "BENCH_e23",
+                     "BENCH_e24"):
         assert any(name.startswith(expected) for name in names)
     # The table and chart must render whatever mix of schemas exists,
     # headline or not.
@@ -314,6 +315,36 @@ def test_e23_record_claims_hold():
     assert set(record["http_parity"]["digests_match"]) == set(
         record["scenarios"]
     )
+
+
+def test_e24_record_claims_hold():
+    """The committed E24 record must show the shadow mirror catching the
+    adversarial buggy store (a replayable divergence, localized), zero
+    divergences against identical candidates with byte-identical digest
+    control, a priced overhead ratio per scenario, and a real
+    ``check_every`` amortization win (PR 9's acceptance criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e24.json").read_text())
+    matrix = record["shadow_matrix"]
+    assert {c["scenario"] for c in matrix} == set(record["scenarios"])
+    assert all(0 < c["overhead_ratio"] <= 1.5 for c in matrix)
+    assert all(c["divergences"] == 0 for c in matrix)
+    assert record["identical_candidate_divergences"] == 0
+    assert 0 < record["shadow_overhead_ratio"] <= 1.5
+    control = record["digest_control"]
+    assert control["digests_equal"] is True
+    assert control["shadow_log_digest"] == control["log_digest"]
+    detection = record["divergence_detection"]
+    assert detection["divergences"] >= 1
+    assert detection["first_divergence_step"] is not None
+    probe = detection["probe"]
+    assert probe["first_divergent_step"] == 2
+    assert probe["trace_replays_on_incumbent"] is True
+    assert probe["trace_fails_on_candidate"] is True
+    amortization = record["check_every"]
+    assert amortization["amortized_audit_checks"] \
+        < amortization["eager_audit_checks"]
+    assert record["check_every_amortization_speedup"] > 1.0
 
 
 # -- script entry point -------------------------------------------------------

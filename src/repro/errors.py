@@ -218,6 +218,22 @@ class AuditViolation(VerificationError):
         )
 
 
+class ShadowDivergence(VerificationError):
+    """A shadowed candidate service diverged from its incumbent.
+
+    Raised by a fail-closed :class:`~repro.shadow.ShadowService` the
+    moment a mirrored step's comparison fails (or the candidate errors);
+    ``report`` carries the :class:`~repro.shadow.DivergenceReport`,
+    including the replayable trace and the first-divergent-step
+    localization.  Fail-open policies record the report and keep
+    serving instead of raising.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class UndecidableError(VerificationError):
     """The exact question posed is undecidable in general.
 

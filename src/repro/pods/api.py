@@ -98,6 +98,18 @@ def session_id_of(session: SessionHandle | str) -> str:
     return session
 
 
-def facts_of(instance: "Instance") -> dict[str, frozenset[tuple]]:
-    """An instance's relations as a plain dict (shared frozensets)."""
+def facts_of(instance: "Instance | Facts") -> dict[str, frozenset[tuple]]:
+    """An instance's relations as a plain dict (shared frozensets).
+
+    Plain facts mappings pass through (normalized to frozenset rows),
+    so store ``record_step`` paths -- which all funnel through this
+    function -- accept either a live instance or the wire form.  The
+    audit ledger leans on that: it persists findings as synthetic log
+    entries that never were instances.
+    """
+    if isinstance(instance, Mapping):
+        return {
+            str(name): frozenset(tuple(row) for row in rows)
+            for name, rows in instance.items()
+        }
     return {name: instance[name] for name in instance.schema.names}

@@ -36,7 +36,9 @@ from repro.scenarios.runner import (
 from repro.scenarios.traffic import (
     ZipfSampler,
     lognormal_length,
+    open_loop_events,
     open_loop_schedule,
+    paced_requests,
 )
 
 __all__ = [
@@ -56,5 +58,7 @@ __all__ = [
     "log_digest",
     "ZipfSampler",
     "lognormal_length",
+    "open_loop_events",
     "open_loop_schedule",
+    "paced_requests",
 ]

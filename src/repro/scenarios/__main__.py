@@ -3,6 +3,11 @@
     $ python -m repro.scenarios --list
     $ python -m repro.scenarios --run feed-delivery --sessions 64 --steps 8
     $ python -m repro.scenarios --run auction --shards 4 --concurrency 4 --json
+    $ python -m repro.scenarios --run commerce --shadow adversarial
+
+``--shadow CANDIDATE`` shadow-deploys the candidate scenario's
+transducer under the incumbent's traffic and exits non-zero when any
+divergence is recorded, so CI can use the run as a containment gate.
 """
 
 from __future__ import annotations
@@ -46,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, metavar="PATH", help="session store path"
     )
     parser.add_argument(
+        "--shadow",
+        default=None,
+        metavar="CANDIDATE_SCENARIO",
+        help="shadow-deploy this scenario's transducer as a candidate; "
+        "exit 1 if any divergence is found",
+    )
+    parser.add_argument(
         "--no-audit",
         action="store_true",
         help="drop the scenario's OnlineAuditor (pure throughput)",
@@ -83,10 +95,13 @@ def main(argv: "list[str] | None" = None) -> int:
         concurrency=args.concurrency,
         audit=not args.no_audit,
         keep_logs=not args.no_logs,
+        shadow_candidate=args.shadow,
     )
+    # The shadow gate: any divergence fails the run.
+    exit_code = 1 if (args.shadow and report.divergences) else 0
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
-        return 0
+        return exit_code
     print(f"scenario          {report.scenario}")
     print(f"sessions          {report.sessions}")
     print(f"total steps       {report.total_steps}")
@@ -99,7 +114,19 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     if report.log_digest:
         print(f"log digest        {report.log_digest[:16]}…")
-    return 0
+    if args.shadow:
+        print(f"shadow candidate  {report.shadow_candidate}")
+        print(
+            f"divergences       {report.divergences}"
+            + (
+                f"  (first at step {report.first_divergence_step})"
+                if report.divergences
+                else ""
+            )
+        )
+        if report.shadow_log_digest:
+            print(f"shadow digest     {report.shadow_log_digest[:16]}…")
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -17,6 +17,13 @@ traffic without any numpy dependency:
   The resulting global order interleaves sessions the way wall-clock
   traffic would, while staying a pure function of the seed.
 
+:func:`open_loop_events` exposes the same schedule *with* its virtual
+timestamps, and :func:`paced_requests` replays it against a real clock
+(sleeping to each event's offset) -- the opt-in ``pace=True`` mode of
+``run_scenario``.  Order-only remains the default: pacing changes when
+requests land, never their order, so logs and digests are identical
+either way.
+
 Everything is seeded through string-keyed :class:`random.Random`
 instances (the repo-wide idiom), so two runs with the same seed produce
 byte-identical schedules on any platform.
@@ -25,17 +32,24 @@ byte-identical schedules on any platform.
 from __future__ import annotations
 
 import random
+import time
 from bisect import bisect_right
 from itertools import accumulate
 from math import exp, log
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.pods.api import StepRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.scenarios.base import Workload
 
-__all__ = ["ZipfSampler", "lognormal_length", "open_loop_schedule"]
+__all__ = [
+    "ZipfSampler",
+    "lognormal_length",
+    "open_loop_events",
+    "open_loop_schedule",
+    "paced_requests",
+]
 
 
 class ZipfSampler:
@@ -93,24 +107,22 @@ def lognormal_length(
     return max(minimum, min(maximum, round(draw)))
 
 
-def open_loop_schedule(
+def open_loop_events(
     workload: "Workload",
     *,
     seed: int = 0,
     arrival_rate: float = 4.0,
     think_time: float = 1.0,
-) -> list[StepRequest]:
-    """Flatten a workload into one open-loop request schedule.
+) -> list[tuple[float, StepRequest]]:
+    """The open-loop schedule with its virtual timestamps.
 
     Sessions arrive on a Poisson process with rate ``arrival_rate``
     (sessions per virtual second, in the workload's declared order);
     each session then spaces its own steps by exponential think times
-    with mean ``think_time``.  All clocks are *virtual*: the function
-    just sorts the (time, session, position) events and returns the
-    resulting :class:`~repro.pods.api.StepRequest` order, which
-    interleaves long and short sessions realistically while per-session
-    order is preserved by construction (times are strictly increasing
-    within a session).
+    with mean ``think_time``.  Returns ``(at, request)`` pairs sorted
+    by time (session id and position break ties deterministically);
+    per-session order is preserved by construction, since times are
+    strictly increasing within a session.
 
     The schedule is a pure function of ``(workload, seed, rates)``.
     """
@@ -130,5 +142,58 @@ def open_loop_schedule(
             events.append((at, session_id, position, step))
     events.sort(key=lambda event: (event[0], event[1], event[2]))
     return [
-        StepRequest(session_id, step) for _at, session_id, _pos, step in events
+        (at, StepRequest(session_id, step))
+        for at, session_id, _pos, step in events
     ]
+
+
+def open_loop_schedule(
+    workload: "Workload",
+    *,
+    seed: int = 0,
+    arrival_rate: float = 4.0,
+    think_time: float = 1.0,
+) -> list[StepRequest]:
+    """Flatten a workload into one open-loop request *order*.
+
+    The timestamp-free view of :func:`open_loop_events` -- what the
+    default (order-only) scenario runner consumes.
+    """
+    return [
+        request
+        for _at, request in open_loop_events(
+            workload,
+            seed=seed,
+            arrival_rate=arrival_rate,
+            think_time=think_time,
+        )
+    ]
+
+
+def paced_requests(
+    events: "Sequence[tuple[float, StepRequest]]",
+    *,
+    time_scale: float = 1.0,
+    clock: "Callable[[], float]" = time.monotonic,
+    sleep: "Callable[[float], None]" = time.sleep,
+) -> "Iterator[StepRequest]":
+    """Replay a schedule against a real clock: the open loop, embodied.
+
+    Yields each request at (or as soon after as possible) its event's
+    virtual timestamp, scaled by ``time_scale`` seconds per virtual
+    second -- sleeping when ahead of schedule, never reordering when
+    behind.  An open-loop generator does not wait for responses, so a
+    slow service accumulates *lateness* rather than thinning the
+    arrival process; order (and therefore every log and digest) is
+    identical to the un-paced schedule.
+
+    ``clock`` and ``sleep`` are injectable for deterministic tests.
+    """
+    if time_scale < 0:
+        raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+    origin = clock()
+    for at, request in events:
+        delay = origin + at * time_scale - clock()
+        if delay > 0:
+            sleep(delay)
+        yield request

@@ -272,6 +272,24 @@ class PodClient:
 
     # -- observability ---------------------------------------------------------
 
+    def audit_findings(
+        self, session: "SessionHandle | str | None" = None
+    ) -> "list[wire.WireFinding]":
+        """``GET /v1/audits``: the server's recorded audit findings.
+
+        The merged, (session, step)-ordered view across every worker's
+        auditor -- including findings rehydrated from a persistent
+        ledger after a server restart.  Mirrors the in-process
+        ``service.audit_findings()`` signature, minus the traces (they
+        stay server-side).
+        """
+        reply = self._get("/v1/audits", "audits")
+        findings = wire.decode_audit_findings(reply)
+        if session is None:
+            return list(findings)
+        session_id = session_id_of(session)
+        return [f for f in findings if f.session_id == session_id]
+
     def metrics_payload(self) -> dict:
         """The full ``/v1/metrics`` body: ``server`` config + merged
         ``pods`` counters + ``per_worker`` breakdown."""

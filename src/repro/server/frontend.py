@@ -12,7 +12,9 @@ over five endpoints::
     GET  /healthz          worker process liveness (200 ok / 503 degraded)
 
 plus ``POST /v1/snapshot``, ``POST /v1/close``, ``POST /v1/flush`` and
-``GET /v1/sessions`` for session lifecycle.  Requests and responses are
+``GET /v1/sessions`` for session lifecycle, and ``GET /v1/audits`` for
+the merged audit findings of every worker's auditor (the queryable face
+of the per-pod violations ledger).  Requests and responses are
 wire messages (see :mod:`repro.server.wire`); errors come back as typed
 error envelopes riding the matching HTTP status -- queue overflow is a
 ``429`` carrying a ``backpressure`` envelope, never a hang.
@@ -385,6 +387,22 @@ class PodServer:
         )
         return wire.message("flushed", {"flushed": flushed})
 
+    def audits(self) -> dict:
+        """Merged audit findings across workers, (session, step)-ordered.
+
+        Each worker answers with its shard service's recorded findings
+        -- which, when the worker's auditor carries a persistent
+        ledger, include findings rehydrated from a previous process
+        over the same store.
+        """
+        findings: list = []
+        for worker in self._workers:
+            findings.extend(
+                wire.decode_audit_findings(worker.call("audits", {}))
+            )
+        findings.sort(key=lambda f: (f.session_id, f.step))
+        return wire.message("audits", wire.encode_audit_findings(findings))
+
     def metrics(self) -> dict:
         per_worker = []
         for worker in self._workers:
@@ -494,6 +512,8 @@ class _PodRequestHandler(BaseHTTPRequestHandler):
                 self._respond(self.pod.metrics())
             elif self.path == "/v1/sessions":
                 self._respond(self.pod.session_ids())
+            elif self.path == "/v1/audits":
+                self._respond(self.pod.audits())
             else:
                 self._respond(
                     wire.message(

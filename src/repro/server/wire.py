@@ -276,11 +276,58 @@ _ERROR_CODES: tuple[tuple[type, str, int], ...] = (
 class WireFinding:
     """An audit finding as it survives the wire: the judgment, minus
     the replayable trace (traces carry live instances and stay on the
-    server; re-derive them there when needed)."""
+    server; re-derive them there when needed).  ``property_name`` names
+    the violated spec (empty for findings from servers predating the
+    audits endpoint)."""
 
     session_id: str
     step: int
     violation: str
+    property_name: str = ""
+
+
+def _property_name_of(finding) -> str:
+    """The violated spec's name, from whichever shape carries it."""
+    name = getattr(finding, "property_name", None)
+    if name:
+        return str(name)
+    spec = getattr(finding, "spec", None)
+    describe = getattr(spec, "describe", None)
+    if callable(describe):
+        return str(describe())
+    return ""
+
+
+def encode_audit_findings(findings) -> dict:
+    """An ``audits`` body: the service's recorded findings, in order."""
+    return {
+        "findings": [
+            {
+                "session_id": str(finding.session_id),
+                "step": int(finding.step),
+                "violation": str(finding.violation),
+                "property": _property_name_of(finding),
+            }
+            for finding in findings
+        ]
+    }
+
+
+def decode_audit_findings(body) -> tuple[WireFinding, ...]:
+    """Inverse of :func:`encode_audit_findings`."""
+    findings = body.get("findings")
+    if not isinstance(findings, (list, tuple)):
+        raise WireError(f"audits body has no findings list: {body!r}")
+    return tuple(
+        WireFinding(
+            session_id=str(f.get("session_id", "")),
+            step=int(f.get("step", 0)),
+            violation=str(f.get("violation", "")),
+            property_name=str(f.get("property", "")),
+        )
+        for f in findings
+        if isinstance(f, Mapping)
+    )
 
 
 def error_code_of(error: BaseException) -> tuple[str, int]:

@@ -179,6 +179,10 @@ def _handle_op(service: PodService, shard_index: int, op: str, body) -> dict:
         )
     if op == "flush":
         return wire.message("flushed", {"flushed": service.flush()})
+    if op == "audits":
+        return wire.message(
+            "audits", wire.encode_audit_findings(service.audit_findings())
+        )
     if op == "ping":
         return wire.message("pong", {"shard": shard_index})
     if op == "sleep":

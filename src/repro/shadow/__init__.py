@@ -1,0 +1,52 @@
+"""Shadow-deploy containment audits.
+
+The online complement of :mod:`repro.verify.containment`: where the
+offline machinery *decides* log containment/equivalence between two
+transducers (Theorems 3.4/3.5, for restricted classes), a
+:class:`ShadowService` *observes* it on live traffic -- mirroring every
+request to an incumbent and a candidate, diffing log entries per step
+under a :class:`ComparisonPolicy`, and turning each divergence into a
+replayable :class:`DivergenceReport`.  The :class:`AuditLedger`
+persists findings and reports through the
+:class:`~repro.pods.store.SessionStore` seam so the evidence survives
+restarts and is queryable over the pod server (``GET /v1/audits``).
+
+>>> from repro.scenarios import run_scenario
+>>> report = run_scenario("commerce", shadow_candidate="adversarial")
+>>> report.divergences >= 1
+True
+"""
+
+from repro.shadow.ledger import (
+    LEDGER_RELATION,
+    AuditLedger,
+    LedgerSpec,
+    decode_record,
+    encode_record,
+)
+from repro.shadow.policy import CONTAINMENT, STRICT, ComparisonPolicy
+from repro.shadow.report import (
+    KIND_CANDIDATE_ERROR,
+    KIND_LOG_DIVERGENCE,
+    KIND_OUTPUT_MISMATCH,
+    KIND_STEP_COUNTER,
+    DivergenceReport,
+)
+from repro.shadow.service import ShadowService
+
+__all__ = [
+    "AuditLedger",
+    "LedgerSpec",
+    "LEDGER_RELATION",
+    "encode_record",
+    "decode_record",
+    "ComparisonPolicy",
+    "STRICT",
+    "CONTAINMENT",
+    "DivergenceReport",
+    "KIND_LOG_DIVERGENCE",
+    "KIND_OUTPUT_MISMATCH",
+    "KIND_STEP_COUNTER",
+    "KIND_CANDIDATE_ERROR",
+    "ShadowService",
+]

@@ -116,6 +116,8 @@ class OnlineAuditor:
         *,
         reference: "RelationalTransducer | None" = None,
         strict: bool = False,
+        check_every: int = 1,
+        ledger=None,
     ) -> None:
         self.specs = tuple(specs)
         for spec in self.specs:
@@ -124,8 +126,19 @@ class OnlineAuditor:
                     f"OnlineAuditor takes PropertySpecs, got "
                     f"{type(spec).__name__}"
                 )
+        if not isinstance(check_every, int) or check_every < 1:
+            raise SpecError(
+                f"check_every must be an integer >= 1, got {check_every!r}"
+            )
         self.reference = reference
         self.strict = strict
+        # Amortization: monitors that *latch* (LogValidity /
+        # GoalReachability re-decide a permanent property of the whole
+        # prefix, so a violation at step i is still a violation at every
+        # j > i) are re-decided only every k-th step of a session.
+        # Detection is delayed to the next multiple of k, never lost.
+        # Per-step monitors (temporal safety, disciplines) always run.
+        self.check_every = check_every
         self._transducer: "RelationalTransducer | None" = None
         self._database: "Instance | None" = None
         self._database_facts: dict | None = None
@@ -137,6 +150,24 @@ class OnlineAuditor:
         # _SessionAudit stays single-threaded, but registration and the
         # findings ledger are shared and must not lose entries.
         self._lock = threading.Lock()
+        # Optional persistent violations ledger: every finding is also
+        # written through the SessionStore seam, and findings recorded
+        # by a previous process over the same store are rehydrated here
+        # (their traces intact, their specs reduced to LedgerSpec name
+        # placeholders).
+        if ledger is None:
+            self._ledger = None
+        else:
+            from repro.shadow.ledger import AuditLedger
+
+            self._ledger = (
+                ledger if isinstance(ledger, AuditLedger) else AuditLedger(ledger)
+            )
+            self._findings.extend(
+                record
+                for record in self._ledger.all_records()
+                if isinstance(record, AuditFinding)
+            )
 
     # -- lifecycle (driven by the owning service) ------------------------------
 
@@ -253,9 +284,22 @@ class OnlineAuditor:
             return self._sessions.setdefault(session_id, audit) is audit
 
     def forget_session(self, session_id: str) -> None:
-        """Stop auditing (session closed); keeps recorded findings."""
+        """Stop auditing (session closed).
+
+        Without a ledger, recorded findings are kept (the historical
+        behaviour).  With one, a closed session's findings are *pruned*
+        -- from memory and from the ledger -- mirroring how the session
+        stores treat ``record_closed``: the ledger is the book of open
+        pods' violations, and closing a pod retires its entry.
+        """
         with self._lock:
             self._sessions.pop(session_id, None)
+            if self._ledger is not None:
+                self._findings = [
+                    f for f in self._findings if f.session_id != session_id
+                ]
+        if self._ledger is not None:
+            self._ledger.forget(session_id)
 
     # -- the per-step hook -----------------------------------------------------
 
@@ -307,6 +351,15 @@ class OnlineAuditor:
         findings: list[AuditFinding] = []
         checks = 0
         for monitor in audit.monitors:
+            if (
+                self.check_every > 1
+                and getattr(monitor, "amortizable", False)
+                and step % self.check_every != 0
+            ):
+                # Latching monitor on an off-cycle step: skip the
+                # re-decision (history above still accumulated, so the
+                # next on-cycle step sees the full prefix).
+                continue
             checks += 1
             for violation in monitor.observe(stage):
                 findings.append(
@@ -324,6 +377,9 @@ class OnlineAuditor:
         if findings:
             with self._lock:
                 self._findings.extend(findings)
+            if self._ledger is not None:
+                for finding in findings:
+                    self._ledger.append(finding.session_id, finding)
         return AuditOutcome(
             findings=tuple(findings),
             checks=checks,
@@ -362,6 +418,11 @@ class OnlineAuditor:
         )
 
     # -- reporting -------------------------------------------------------------
+
+    @property
+    def ledger(self):
+        """The attached :class:`~repro.shadow.ledger.AuditLedger`, if any."""
+        return self._ledger
 
     def findings(self, session_id: str | None = None) -> list[AuditFinding]:
         """All recorded findings, optionally for one session."""

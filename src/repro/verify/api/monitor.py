@@ -97,6 +97,13 @@ class StepMonitor:
     #: monitors that do, keeping single-stage monitors O(1) per step.
     needs_history = False
 
+    #: May the auditor's ``check_every=k`` skip this monitor on
+    #: off-cycle steps?  Only sound for monitors re-deciding a
+    #: *permanent* property of the whole prefix (they latch): skipping
+    #: delays detection to the next multiple of k, never loses it.
+    #: Per-step monitors (temporal safety, disciplines) must stay False.
+    amortizable = False
+
     def __init__(self, spec: "PropertySpec") -> None:
         self.spec = spec
         # Monitors of *permanent* violations (invalid log prefix, lost
@@ -422,6 +429,7 @@ class LogValidityMonitor(StepMonitor):
     """
 
     needs_history = True
+    amortizable = True  # BSR re-decision over the prefix; latches
 
     def __init__(self, spec, reference, database: "Instance") -> None:
         super().__init__(spec)
@@ -454,6 +462,7 @@ class GoalReachabilityMonitor(StepMonitor):
     """
 
     needs_history = True
+    amortizable = True  # BSR re-decision over the prefix; latches
 
     def __init__(self, spec, reference, database: "Instance") -> None:
         super().__init__(spec)

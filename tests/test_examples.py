@@ -25,6 +25,7 @@ RUNNABLE = [
     "fraud_detection.py",
     "guarded_store.py",
     "scenario_tour.py",
+    "shadow_tour.py",
 ]
 
 

@@ -1,0 +1,556 @@
+"""Shadow-deploy containment audits and the persistent audit ledger.
+
+The acceptance bar of the shadow subsystem:
+
+* *no false positives*: shadowing every registered scenario against an
+  identical candidate reports zero divergences and byte-identical log
+  digests on both sides;
+* *detection*: the deliberately-buggy store candidate yields a
+  divergence whose :class:`CounterexampleTrace` replays
+  deterministically -- reproducing on the incumbent's transducer and
+  failing on the candidate's;
+* *containment vs equivalence*: a candidate that logs strictly less
+  passes a containment policy and fails a strict one;
+* *durability*: findings written through each store backend
+  (memory/jsonl/sqlite) are byte-identical after a restart +
+  rehydration, ``forget_session`` prunes the ledger, and findings are
+  queryable over HTTP (``GET /v1/audits``) across a server restart;
+* *amortization*: ``check_every=k`` delays a latching monitor's
+  detection to the next multiple of k -- never loses it -- and does
+  fewer checks.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commerce.models import (
+    build_buggy_store,
+    build_short,
+    default_database,
+)
+from repro.errors import ShadowDivergence, SpecError
+from repro.pods.api import SessionHandle, StepRequest
+from repro.pods.service import PodService
+from repro.scenarios import (
+    open_loop_events,
+    paced_requests,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.__main__ import main as scenarios_main
+from repro.server import PodClient, PodServer
+from repro.shadow import (
+    KIND_CANDIDATE_ERROR,
+    KIND_LOG_DIVERGENCE,
+    AuditLedger,
+    ComparisonPolicy,
+    DivergenceReport,
+    ShadowService,
+    decode_record,
+    encode_record,
+)
+from repro.verify.api import GoalReachability, LogValidity, OnlineAuditor
+from repro.verify.api.monitor import (
+    GoalReachabilityMonitor,
+    LogValidityMonitor,
+    StepMonitor,
+)
+
+
+def short_vs_buggy(policy=None, ledger=None):
+    """The canonical divergence pair: same schema, one dropped guard."""
+    db = default_database()
+    return ShadowService(
+        PodService(build_short(), db),
+        PodService(build_buggy_store(), db),
+        policy=policy,
+        ledger=ledger,
+    )
+
+
+def drive_two_orders(shadow, session_id="s1"):
+    """Order twice: SHORT never delivers, buggy delivers at step 2."""
+    handle = shadow.create_session(session_id)
+    shadow.submit(StepRequest(handle, {"order": {("time",)}}))
+    shadow.submit(StepRequest(handle, {"order": {("newsweek",)}}))
+    return handle
+
+
+# -- no false positives: identical candidates ---------------------------------
+
+
+class TestIdenticalCandidate:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_scenario_shadows_itself_cleanly(self, name):
+        report = run_scenario(
+            name, sessions=3, steps=3, shadow_candidate=name
+        )
+        assert report.divergences == 0
+        assert report.first_divergence_step is None
+        assert report.log_digest is not None
+        assert report.shadow_log_digest == report.log_digest
+
+    def test_shadow_surface_is_the_pod_surface(self):
+        shadow = short_vs_buggy()
+        handle = shadow.create_session("s1")
+        assert shadow.has_session(handle)
+        assert shadow.session_ids() == ["s1"]
+        results = shadow.run_session(handle, [{"order": {("time",)}}])
+        assert [r.step for r in results] == [1]
+        assert shadow.session("s1").steps == 1
+        assert shadow.flush() == 0
+        log = shadow.close_session(handle)
+        assert len(log) == 1
+        assert shadow.session_ids() == []
+
+
+# -- detection ----------------------------------------------------------------
+
+
+class TestDivergenceDetection:
+    def test_buggy_candidate_diverges_with_replayable_trace(self):
+        shadow = short_vs_buggy()
+        drive_two_orders(shadow)
+        assert shadow.divergence_count() == 1
+        report = shadow.first_divergence()
+        assert report.kind == KIND_LOG_DIVERGENCE
+        assert report.step == 2
+        assert report.first_divergent_step == 2
+        # The candidate delivered without payment; the incumbent did not.
+        assert report.candidate["deliver"] == frozenset({("time",)})
+        assert report.incumbent["deliver"] == frozenset()
+        # The trace is the machine-checkable statement "these two are
+        # not log-equivalent on this run".
+        assert report.trace.reproduces(build_short())
+        assert not report.trace.reproduces(build_buggy_store())
+
+    def test_detection_is_deterministic(self):
+        reports = []
+        for _ in range(2):
+            shadow = short_vs_buggy()
+            drive_two_orders(shadow)
+            reports.append(shadow.first_divergence())
+        assert reports[0] == reports[1]
+        # Replay is deterministic too: same verdict both times.
+        assert [reports[0].trace.reproduces(build_short()) for _ in range(2)] \
+            == [True, True]
+
+    def test_containment_policy_admits_a_quieter_candidate(self):
+        # Reversed roles: the buggy store (logs MORE) serves as the
+        # incumbent, SHORT as the candidate.  SHORT's log entries are
+        # contained in buggy's, so containment stays silent...
+        db = default_database()
+        contained = ShadowService(
+            PodService(build_buggy_store(), db),
+            PodService(build_short(), db),
+            policy=ComparisonPolicy.containment(),
+        )
+        drive_two_orders(contained)
+        assert contained.divergence_count() == 0
+        # ...while strict equivalence flags the same pair.
+        strict = ShadowService(
+            PodService(build_buggy_store(), db),
+            PodService(build_short(), db),
+            policy=ComparisonPolicy.strict(),
+        )
+        drive_two_orders(strict)
+        assert strict.divergence_count() == 1
+
+    def test_offline_verdict_agrees_with_online_observation(self):
+        shadow = short_vs_buggy()
+        drive_two_orders(shadow)
+        verdict = shadow.containment_verdict()
+        assert verdict is not None and not verdict.contained
+
+    def test_sampled_policy_localizes_the_true_first_divergence(self):
+        policy = ComparisonPolicy.sampled(0.4)
+        # A session id whose step 2 the hash sample skips but some
+        # later step hits -- deterministic, so the scan is stable.
+        session_id = next(
+            sid
+            for sid in (f"sampled-{i}" for i in range(1000))
+            if not policy.should_check(sid, 2)
+            and any(policy.should_check(sid, k) for k in range(3, 9))
+        )
+        shadow = short_vs_buggy(policy=policy)
+        handle = shadow.create_session(session_id)
+        shadow.submit(StepRequest(handle, {"order": {("time",)}}))
+        shadow.submit(StepRequest(handle, {"order": {("newsweek",)}}))
+        for _ in range(6):
+            if shadow.divergence_count():
+                break
+            shadow.submit(StepRequest(handle, {}))
+        report = shadow.first_divergence()
+        assert report is not None
+        # Detected late (step 2 was unsampled), localized exactly.
+        assert report.step > 2
+        assert report.first_divergent_step == 2
+
+    def test_fail_closed_raises_shadow_divergence(self):
+        shadow = short_vs_buggy(
+            policy=ComparisonPolicy.strict(fail_open=False)
+        )
+        handle = shadow.create_session("s1")
+        shadow.submit(StepRequest(handle, {"order": {("time",)}}))
+        with pytest.raises(ShadowDivergence) as caught:
+            shadow.submit(StepRequest(handle, {"order": {("newsweek",)}}))
+        assert caught.value.report.kind == KIND_LOG_DIVERGENCE
+        # The incumbent stayed authoritative: its step was applied
+        # before the comparison raised.
+        assert shadow.incumbent.session("s1").steps == 2
+
+    def test_crashing_candidate_detaches_after_one_report(self):
+        class ExplodingCandidate:
+            def create_session(self, session_id=None):
+                return SessionHandle(session_id or "x")
+
+            def submit(self, request):
+                raise RuntimeError("candidate down")
+
+        db = default_database()
+        shadow = ShadowService(
+            PodService(build_short(), db), ExplodingCandidate()
+        )
+        handle = shadow.create_session("s1")
+        for _ in range(3):
+            shadow.submit(StepRequest(handle, {"order": {("time",)}}))
+        assert shadow.incumbent.session("s1").steps == 3
+        reports = shadow.divergences()
+        assert [r.kind for r in reports] == [KIND_CANDIDATE_ERROR]
+
+    def test_policy_validation(self):
+        with pytest.raises(SpecError):
+            ComparisonPolicy(mode="fuzzy")
+        with pytest.raises(SpecError):
+            ComparisonPolicy(sample_rate=0.0)
+        with pytest.raises(SpecError):
+            ComparisonPolicy(sample_rate=1.5)
+
+
+# -- run_scenario / CLI wiring ------------------------------------------------
+
+
+class TestScenarioShadow:
+    def test_adversarial_candidate_reports_divergences(self):
+        report = run_scenario(
+            "commerce", sessions=6, steps=4, shadow_candidate="adversarial"
+        )
+        assert report.shadow_candidate == "adversarial"
+        assert report.divergences >= 1
+        assert report.first_divergence_step is not None
+        assert report.shadow_log_digest != report.log_digest
+
+    def test_cli_shadow_gate_exit_codes(self, capsys):
+        args = ["--run", "commerce", "--sessions", "4", "--steps", "3"]
+        assert scenarios_main(args + ["--shadow", "adversarial"]) == 1
+        assert "divergences" in capsys.readouterr().out
+        assert scenarios_main(args + ["--shadow", "commerce"]) == 0
+        assert scenarios_main(args) == 0
+
+
+# -- the persistent ledger ----------------------------------------------------
+
+
+class TestAuditLedger:
+    @given(seed=st.integers(0, 10), kind=st.sampled_from(
+        ["memory", "jsonl", "sqlite"]
+    ))
+    @settings(max_examples=12, deadline=None)
+    def test_findings_survive_restart_byte_identically(self, seed, kind):
+        db = default_database()
+        with tempfile.TemporaryDirectory() as tmp:
+            if kind == "memory":
+                target = AuditLedger(None)
+            elif kind == "jsonl":
+                target = os.path.join(tmp, "ledger")
+            else:
+                target = os.path.join(tmp, "ledger.sqlite")
+            auditor = OnlineAuditor(
+                [LogValidity(name="log validates against SHORT")],
+                reference=build_short(),
+                ledger=target,
+            )
+            service = PodService(build_buggy_store(), db, auditor=auditor)
+            # seed-varied violating traffic: order K products, never pay
+            products = ["time", "newsweek", "le_monde"]
+            handle = service.create_session("s1")
+            for step in range(2 + seed % 2):
+                product = products[(seed + step) % len(products)]
+                service.submit(StepRequest(handle, {"order": {(product,)}}))
+            before = [
+                json.dumps(encode_record(f), sort_keys=True)
+                for f in auditor.findings()
+            ]
+            assert before, "buggy traffic must produce findings"
+            # Restart: a fresh auditor over the same backing store.
+            if kind == "memory":
+                restarted_target = target  # the live store survives
+            else:
+                auditor.ledger.close()
+                restarted_target = target
+            rehydrated = OnlineAuditor(
+                [LogValidity(name="log validates against SHORT")],
+                reference=build_short(),
+                ledger=restarted_target,
+            )
+            after = [
+                json.dumps(encode_record(f), sort_keys=True)
+                for f in rehydrated.findings()
+            ]
+            assert after == before
+            # The rehydrated finding still replays.
+            finding = rehydrated.findings()[0]
+            assert finding.trace.reproduces(build_buggy_store())
+            # forget_session prunes the ledger: gone from the live
+            # auditor AND from the next rehydration.
+            rehydrated.forget_session("s1")
+            assert rehydrated.findings() == []
+            if kind == "memory":
+                pruned_target = restarted_target
+            else:
+                rehydrated.ledger.close()
+                pruned_target = target
+            assert OnlineAuditor([], ledger=pruned_target).findings() == []
+
+    def test_record_codec_round_trips_divergence_reports(self):
+        ledger = AuditLedger(None)
+        shadow = short_vs_buggy(ledger=ledger)
+        drive_two_orders(shadow)
+        report = shadow.first_divergence()
+        blob = json.dumps(encode_record(report), sort_keys=True)
+        decoded = decode_record(json.loads(blob))
+        assert isinstance(decoded, DivergenceReport)
+        assert decoded == report  # trace excluded from equality...
+        # ...but carried: the decoded trace replays identically.
+        assert decoded.trace.reproduces(build_short())
+        assert json.dumps(encode_record(decoded), sort_keys=True) == blob
+
+    def test_shadow_divergences_rehydrate_from_ledger(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            target = os.path.join(tmp, "shadow.sqlite")
+            shadow = short_vs_buggy(ledger=target)
+            drive_two_orders(shadow)
+            assert shadow.divergence_count() == 1
+            shadow.ledger.close()
+            reborn = short_vs_buggy(ledger=target)
+            assert reborn.divergence_count() == 1
+            assert reborn.first_divergence().kind == KIND_LOG_DIVERGENCE
+
+    def test_ledger_rejects_unknown_records(self):
+        from repro.errors import StoreError
+
+        with pytest.raises(StoreError):
+            encode_record({"not": "a record"})
+        with pytest.raises(StoreError):
+            decode_record({"type": "mystery"})
+
+
+# -- check_every amortization -------------------------------------------------
+
+
+class TestCheckEvery:
+    def drive(self, check_every):
+        auditor = OnlineAuditor(
+            [LogValidity(name="log validates against SHORT")],
+            reference=build_short(),
+            check_every=check_every,
+        )
+        service = PodService(
+            build_buggy_store(), default_database(), auditor=auditor
+        )
+        handle = service.create_session("s1")
+        service.submit(StepRequest(handle, {"order": {("time",)}}))
+        for _ in range(5):
+            service.submit(StepRequest(handle, {"order": {("newsweek",)}}))
+        return auditor, service.metrics.snapshot()["audit_checks"]
+
+    def test_detection_delayed_to_next_multiple_never_lost(self):
+        eager, eager_checks = self.drive(1)
+        lazy, lazy_checks = self.drive(3)
+        assert [f.step for f in eager.findings()] == [2]
+        assert [f.step for f in lazy.findings()] == [3]
+        assert lazy_checks < eager_checks
+
+    def test_amortizable_is_opt_in_per_monitor_class(self):
+        assert StepMonitor.amortizable is False
+        assert LogValidityMonitor.amortizable is True
+        assert GoalReachabilityMonitor.amortizable is True
+
+    def test_check_every_validation(self):
+        with pytest.raises(SpecError):
+            OnlineAuditor([], check_every=0)
+        with pytest.raises(SpecError):
+            OnlineAuditor([], check_every=2.5)
+
+    def test_goal_reachability_amortizes_too(self):
+        from repro.verify.reachability import Goal
+
+        def drive(check_every):
+            # vogue has no price row, so delivering it is unreachable
+            # from the very first step -- and stays so (latching).
+            auditor = OnlineAuditor(
+                [GoalReachability(Goal.atoms(deliver=("vogue",)))],
+                reference=build_short(),
+                check_every=check_every,
+            )
+            service = PodService(
+                build_short(), default_database(), auditor=auditor
+            )
+            handle = service.create_session("s1")
+            service.submit(StepRequest(handle, {"order": {("time",)}}))
+            service.submit(StepRequest(handle, {"pay": {("time", 55)}}))
+            return [finding.step for finding in auditor.findings()]
+
+        assert drive(1) == [1]
+        assert drive(2) == [2]
+
+
+# -- paced (real-clock) open-loop replay --------------------------------------
+
+
+class TestPacing:
+    def fake_clock(self):
+        state = {"now": 100.0}
+        sleeps = []
+
+        def clock():
+            return state["now"]
+
+        def sleep(seconds):
+            sleeps.append(round(seconds, 9))
+            state["now"] += seconds
+
+        return clock, sleep, sleeps
+
+    def test_paced_requests_sleep_to_the_schedule(self):
+        events = [
+            (0.5, StepRequest("a", {})),
+            (1.25, StepRequest("b", {})),
+            (1.25, StepRequest("a", {})),
+            (2.0, StepRequest("b", {})),
+        ]
+        clock, sleep, sleeps = self.fake_clock()
+        order = [
+            r.session
+            for r in paced_requests(events, clock=clock, sleep=sleep)
+        ]
+        assert order == ["a", "b", "a", "b"]
+        # Slept to 0.5, then to 1.25; the simultaneous event was
+        # already due; then to 2.0.
+        assert sleeps == [0.5, 0.75, 0.75]
+
+    def test_time_scale_stretches_the_schedule(self):
+        events = [(1.0, StepRequest("a", {}))]
+        clock, sleep, sleeps = self.fake_clock()
+        list(paced_requests(events, time_scale=3.0, clock=clock, sleep=sleep))
+        assert sleeps == [3.0]
+
+    def test_lateness_accumulates_instead_of_reordering(self):
+        # A clock that jumps past every deadline: nothing sleeps, order
+        # is untouched -- the open loop absorbs lateness.
+        events = [(0.1, StepRequest("a", {})), (0.2, StepRequest("b", {}))]
+        state = {"now": 0.0}
+
+        def clock():
+            state["now"] += 10.0
+            return state["now"]
+
+        recorded = []
+        order = [
+            r.session
+            for r in paced_requests(
+                events, clock=clock, sleep=recorded.append
+            )
+        ]
+        assert order == ["a", "b"]
+        assert recorded == []
+
+    def test_paced_run_matches_unpaced_digest(self):
+        # time_scale=0 replays the schedule instantly -- same order,
+        # same logs, same digest as the batched default.
+        unpaced = run_scenario("commerce", sessions=4, steps=3)
+        paced = run_scenario(
+            "commerce", sessions=4, steps=3, pace=True, time_scale=0.0
+        )
+        assert paced.log_digest == unpaced.log_digest
+        assert paced.total_steps == unpaced.total_steps
+
+    def test_events_and_schedule_agree(self):
+        from repro.scenarios import open_loop_schedule
+        from repro.scenarios.registry import resolve_scenario
+
+        workload = resolve_scenario("commerce").workload(
+            sessions=3, mean_steps=3, seed=5
+        )
+        events = open_loop_events(workload, seed=5)
+        assert [r for _at, r in events] == open_loop_schedule(
+            workload, seed=5
+        )
+        assert all(
+            earlier <= later
+            for (earlier, _), (later, _) in zip(events, events[1:])
+        )
+
+
+# -- GET /v1/audits over a server restart -------------------------------------
+
+
+def ledgered_audit_factory(shard_index):
+    """Module-level (picklable) factory: one sqlite ledger per shard.
+
+    Workers are spawned processes; the ledger root travels through the
+    environment, which spawn children inherit.
+    """
+    root = os.environ["REPRO_TEST_LEDGER_ROOT"]
+    return OnlineAuditor(
+        [LogValidity(name="log validates against SHORT")],
+        reference=build_short(),
+        ledger=os.path.join(root, f"ledger-{shard_index:02d}.sqlite"),
+    )
+
+
+class TestHttpAudits:
+    def test_findings_queryable_over_http_and_survive_restart(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_LEDGER_ROOT", str(tmp_path))
+        store_root = str(tmp_path / "store")
+        server_kwargs = dict(
+            workers=2,
+            queue_depth=16,
+            store_root=store_root,
+            auditor_factory=ledgered_audit_factory,
+        )
+        with PodServer(
+            build_buggy_store, default_database(), **server_kwargs
+        ) as server:
+            client = PodClient(server.url, build_buggy_store())
+            assert client.audit_findings() == []
+            for index in range(3):
+                handle = client.create_session(f"audit-{index}")
+                client.submit(StepRequest(handle, {"order": {("time",)}}))
+                client.submit(
+                    StepRequest(handle, {"order": {("newsweek",)}})
+                )
+            before = client.audit_findings()
+            assert [f.session_id for f in before] == [
+                "audit-0", "audit-1", "audit-2"
+            ]
+            assert all(f.step == 2 for f in before)
+            assert all(
+                f.property_name == "log validates against SHORT"
+                for f in before
+            )
+            assert client.audit_findings("audit-1") == [before[1]]
+        # Full restart over the same stores and ledgers: the findings
+        # are rehydrated into each worker's auditor and served again.
+        with PodServer(
+            build_buggy_store, default_database(), **server_kwargs
+        ) as reborn:
+            after = PodClient(reborn.url, build_buggy_store()).audit_findings()
+            assert after == before
