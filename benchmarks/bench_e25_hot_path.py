@@ -1,0 +1,278 @@
+"""E25: the datalog hot path -- columnar store, join-graph plans, kernels.
+
+Measures the end-to-end pod throughput of the E16 workload (many
+independent customer sessions over one shared catalog) under the
+hot-path ablation ladder, attributing the speedup to each layer:
+
+* ``e16_path`` -- every PR-10 switch off (``REPRO_COMPILED_KERNELS=0``,
+  ``REPRO_JOINGRAPH=0``, ``REPRO_ORDER_MEMO=0``): the reference
+  interpreter re-planning every join, i.e. the pre-hot-path E16
+  configuration (the columnar storage itself has no switch; it is
+  equivalence-tested instead);
+* ``columnar_memo`` -- plus per-rule join-order memoization;
+* ``joingraph`` -- plus connected-subgraph (join-graph) ordering;
+* ``kernels`` -- plus compiled rule kernels: the default configuration.
+
+Every rung must produce byte-identical logs: each configuration's
+canonical log digest (:func:`repro.scenarios.log_digest`) is recorded
+and compared, so the ladder prices pure mechanism, never behaviour.
+
+Run as a script to emit the ``BENCH_e25.json`` perf record::
+
+    python benchmarks/bench_e25_hot_path.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.commerce.catalog import CatalogGenerator
+from repro.commerce.models import build_friendly
+from repro.commerce.workloads import simulate_concurrent_customers
+from repro.pods import PodService
+from repro.scenarios import log_digest
+
+SEED = 7
+PRODUCTS = 1000
+STEPS_PER_SESSION = 8
+FULL_SESSIONS = 1000
+FULL_ROUNDS = 3
+DIGEST_SESSIONS = 40
+
+#: The ablation ladder, cheapest configuration first.  Later rungs turn
+#: on one mechanism each; ``kernels`` is the shipped default.
+LADDER = (
+    ("e16_path", {"REPRO_COMPILED_KERNELS": "0", "REPRO_JOINGRAPH": "0",
+                  "REPRO_ORDER_MEMO": "0"}),
+    ("columnar_memo", {"REPRO_COMPILED_KERNELS": "0", "REPRO_JOINGRAPH": "0",
+                       "REPRO_ORDER_MEMO": "1"}),
+    ("joingraph", {"REPRO_COMPILED_KERNELS": "0", "REPRO_JOINGRAPH": "1",
+                   "REPRO_ORDER_MEMO": "1"}),
+    ("kernels", {"REPRO_COMPILED_KERNELS": "1", "REPRO_JOINGRAPH": "1",
+                 "REPRO_ORDER_MEMO": "1"}),
+)
+
+
+@contextmanager
+def _flags(assignments: dict):
+    previous = {name: os.environ.get(name) for name in assignments}
+    os.environ.update(assignments)
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                del os.environ[name]
+            else:
+                os.environ[name] = value
+
+
+def _simulate(sessions: int, products: int, steps: int, service=None):
+    transducer = build_friendly()
+    catalog = CatalogGenerator(seed=1).generate(products)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return simulate_concurrent_customers(
+            transducer,
+            catalog,
+            sessions=sessions,
+            steps_per_session=steps,
+            seed=SEED,
+            service=service,
+        )
+
+
+def _measure(flags: dict, sessions: int, products: int, steps: int,
+             rounds: int):
+    """Best-of-``rounds`` throughput report under ``flags``."""
+    best = None
+    for _ in range(rounds):
+        with _flags(flags):
+            report = _simulate(sessions, products, steps)
+        assert report.total_steps == sessions * steps
+        if best is None or (
+            report.metrics["steps_per_second"]
+            > best.metrics["steps_per_second"]
+        ):
+            best = report
+    return best
+
+
+def _digest(flags: dict, sessions: int, products: int, steps: int) -> str:
+    """Canonical log digest of the workload under ``flags``."""
+    transducer = build_friendly()
+    catalog = CatalogGenerator(seed=1).generate(products)
+    with _flags(flags):
+        service = PodService(transducer, catalog.as_database(), keep_logs=True)
+        _simulate(sessions, products, steps, service=service)
+        return log_digest(service, service.session_ids())
+
+
+def run_experiment(
+    sessions: int = FULL_SESSIONS,
+    products: int = PRODUCTS,
+    steps: int = STEPS_PER_SESSION,
+    rounds: int = FULL_ROUNDS,
+    digest_sessions: int = DIGEST_SESSIONS,
+) -> dict:
+    """Measure the whole ladder; return the JSON perf record."""
+    ladder: dict[str, dict] = {}
+    hot = None
+    for name, flags in LADDER:
+        report = _measure(flags, sessions, products, steps, rounds)
+        if name == "kernels":
+            hot = report
+        ladder[name] = {
+            "flags": dict(flags),
+            "steps_per_second": report.metrics["steps_per_second"],
+            "mean_step_latency_seconds": report.metrics[
+                "mean_step_latency_seconds"
+            ],
+            "log_digest": _digest(flags, digest_sessions, products, steps),
+        }
+    digests = {stage["log_digest"] for stage in ladder.values()}
+    rate = {name: stage["steps_per_second"] for name, stage in ladder.items()}
+    return {
+        "experiment": "e25_hot_path",
+        "workload": {
+            "transducer": "friendly",
+            "catalog_products": products,
+            "sessions": sessions,
+            "steps_per_session": steps,
+            "rounds_best_of": rounds,
+            "digest_sessions": digest_sessions,
+            "seed": SEED,
+        },
+        "ladder": ladder,
+        "steps_per_second": rate["kernels"],
+        "hot_path_vs_e16_speedup": round(rate["kernels"] / rate["e16_path"], 2),
+        "memo_vs_e16_speedup": round(
+            rate["columnar_memo"] / rate["e16_path"], 2
+        ),
+        "joingraph_vs_memo_speedup": round(
+            rate["joingraph"] / rate["columnar_memo"], 2
+        ),
+        "kernels_vs_joingraph_speedup": round(
+            rate["kernels"] / rate["joingraph"], 2
+        ),
+        "logs_identical": len(digests) == 1,
+        "counters": {
+            key: hot.metrics[key]
+            for key in (
+                "kernels_compiled",
+                "kernel_hits",
+                "replans_avoided",
+                "interned_constants",
+            )
+        },
+        "python": platform.python_version(),
+    }
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_e25_ladder_logs_byte_identical():
+    """Every ablation rung produces the same canonical log digest."""
+    digests = {
+        name: _digest(flags, 24, 200, 5) for name, flags in LADDER
+    }
+    assert len(set(digests.values())) == 1, digests
+
+
+def test_e25_counters_flow_through_metrics():
+    """The default configuration reports its hot-path counters."""
+    report = _measure(dict(LADDER[-1][1]), 20, 200, 5, rounds=1)
+    # The kernel memo lives on the process-wide shared plan, so an
+    # earlier test in this process may already have compiled it.
+    assert report.metrics["kernels_compiled"] + report.metrics["kernel_hits"] > 0
+    assert report.metrics["kernel_hits"] > 0
+    assert report.metrics["replans_avoided"] > 0
+    assert report.metrics["interned_constants"] > 0
+    off = _measure(dict(LADDER[0][1]), 20, 200, 5, rounds=1)
+    assert off.metrics["kernels_compiled"] == 0
+    assert off.metrics["kernel_hits"] == 0
+    assert off.metrics["replans_avoided"] == 0
+
+
+def test_e25_hot_path_smoke(benchmark):
+    """Small steady-state measurement of the default path (CI size)."""
+    report = benchmark.pedantic(
+        _measure,
+        args=(dict(LADDER[-1][1]), 40, 300, 6, 1),
+        iterations=1,
+        rounds=3,
+    )
+    assert report.metrics["steps_per_second"] > 0
+
+
+def test_e25_hot_path_speedup_at_scale():
+    """Acceptance: the full ladder beats the reconstructed E16 path.
+
+    The committed ``BENCH_e25.json`` record claims >= 2x (checked by
+    ``plot_trajectory.py``); the live CI assertion leaves headroom for
+    shared-runner noise.
+    """
+    record = run_experiment(sessions=250)
+    print(
+        f"\nE25: kernels {record['steps_per_second']:.0f} steps/s, "
+        f"e16 path {record['ladder']['e16_path']['steps_per_second']:.0f} "
+        f"steps/s, speedup {record['hot_path_vs_e16_speedup']:.2f}x "
+        f"(memo {record['memo_vs_e16_speedup']:.2f}x, "
+        f"joingraph {record['joingraph_vs_memo_speedup']:.2f}x, "
+        f"kernels {record['kernels_vs_joingraph_speedup']:.2f}x)"
+    )
+    assert record["logs_identical"] is True
+    assert record["hot_path_vs_e16_speedup"] >= 1.5
+
+
+# -- script entry point -------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI (100 sessions, 300 products, 1 round)",
+    )
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--products", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_e25.json",
+    )
+    args = parser.parse_args()
+    sessions = (
+        args.sessions
+        if args.sessions is not None
+        else (100 if args.smoke else FULL_SESSIONS)
+    )
+    if sessions < 1:
+        parser.error("--sessions must be >= 1")
+    products = (
+        args.products
+        if args.products is not None
+        else (300 if args.smoke else PRODUCTS)
+    )
+    if products < 1:
+        parser.error("--products must be >= 1")
+    record = run_experiment(
+        sessions=sessions,
+        products=products,
+        rounds=1 if args.smoke else FULL_ROUNDS,
+        digest_sessions=min(DIGEST_SESSIONS, sessions),
+    )
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

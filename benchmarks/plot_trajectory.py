@@ -185,7 +185,7 @@ def test_repo_records_are_loadable():
     names = {name for name, _record in records}
     for expected in ("BENCH_e16", "BENCH_e17", "BENCH_e18", "BENCH_e19",
                      "BENCH_e20", "BENCH_e21", "BENCH_e22", "BENCH_e23",
-                     "BENCH_e24"):
+                     "BENCH_e24", "BENCH_e25"):
         assert any(name.startswith(expected) for name in names)
     # The table and chart must render whatever mix of schemas exists,
     # headline or not.
@@ -345,6 +345,32 @@ def test_e24_record_claims_hold():
     assert amortization["amortized_audit_checks"] \
         < amortization["eager_audit_checks"]
     assert record["check_every_amortization_speedup"] > 1.0
+
+
+def test_e25_record_claims_hold():
+    """The committed E25 record must show the full hot path at >= 2x the
+    reconstructed E16 configuration with byte-identical logs on every
+    ablation rung, and the hot-path counters actually flowing (PR 10's
+    acceptance criteria)."""
+    root = Path(__file__).resolve().parent.parent
+    record = json.loads((root / "BENCH_e25.json").read_text())
+    ladder = record["ladder"]
+    assert set(ladder) == {"e16_path", "columnar_memo", "joingraph", "kernels"}
+    assert all(stage["steps_per_second"] > 0 for stage in ladder.values())
+    digests = {stage["log_digest"] for stage in ladder.values()}
+    assert len(digests) == 1
+    assert record["logs_identical"] is True
+    assert record["hot_path_vs_e16_speedup"] >= 2.0
+    # The e16 rung really is the everything-off configuration.
+    assert ladder["e16_path"]["flags"] == {
+        "REPRO_COMPILED_KERNELS": "0",
+        "REPRO_JOINGRAPH": "0",
+        "REPRO_ORDER_MEMO": "0",
+    }
+    counters = record["counters"]
+    assert counters["kernel_hits"] > 0
+    assert counters["replans_avoided"] > 0
+    assert counters["interned_constants"] > 0
 
 
 # -- script entry point -------------------------------------------------------

@@ -147,6 +147,17 @@ def main() -> None:
         f"{snapshot['delta_rule_evals']} delta joins "
         f"(+{snapshot['delta_rules_skipped']} skipped as unchanged)"
     )
+    # The hot path underneath those joins: each (rule, join order) is
+    # compiled once into a kernel and reused, join orders are served
+    # from the per-rule memo instead of re-running the cost model, and
+    # the catalog's constants sit in the process-wide intern pool.
+    print(
+        "hot-path counters: "
+        f"{snapshot['kernels_compiled']} kernel(s) compiled, "
+        f"{snapshot['kernel_hits']} kernel hits, "
+        f"{snapshot['replans_avoided']} replans avoided, "
+        f"{snapshot['interned_constants']} interned constants"
+    )
 
     # 9. Online audit: attach a verified property spec to a live pod.
     #    Here a *drifting implementation* (the buggy store forgets the

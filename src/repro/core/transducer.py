@@ -64,8 +64,13 @@ class RelationalTransducer:
         cached = self._db_store_cache.get(id(database))
         if cached is not None and cached[0] is database:
             return cached[1]
+        # intern=True: the catalog is long-lived and shared by every
+        # session, so its constants seed the process-wide intern pools
+        # once, and per-step facts mentioning catalog values hit the
+        # identity fast path in joins.
         store = FactStore(
-            {name: database[name] for name in database.schema.names}
+            {name: database[name] for name in database.schema.names},
+            intern=True,
         )
         if len(self._db_store_cache) >= self._DB_CACHE_SLOTS:
             self._db_store_cache.pop(next(iter(self._db_store_cache)))

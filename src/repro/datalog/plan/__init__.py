@@ -4,10 +4,13 @@ The evaluation pipeline is explicit and typed:
 
 ``Program`` -> :class:`LogicalPlan` (stratification + per-rule atom
 graphs) -> :class:`Planner` (join ordering: cost-based over
-:class:`~repro.relalg.indexes.FactStore` index statistics, greedy
+:class:`~repro.relalg.indexes.FactStore` index statistics with
+connected-subgraph expansion over the rule's join graph, greedy
 fallback) -> :class:`PhysicalPlan` (``execute`` / ``execute_delta`` /
-``explain``) -> optionally an :class:`IncrementalExecutor` for
-cross-step delta evaluation of flat programs over monotone facts.
+``explain``; hot bodies run as compiled closures, see
+:mod:`repro.datalog.plan.kernels`) -> optionally an
+:class:`IncrementalExecutor` for cross-step delta evaluation of flat
+programs over monotone facts.
 
 :func:`compile_program` is the process-wide compilation cache the thin
 wrappers in :mod:`repro.datalog.evaluate` and the transducer runtime
@@ -27,8 +30,10 @@ from repro.datalog.plan.planner import (
     cost_order,
     greedy_order,
     incremental_executor_for,
+    joingraph_enabled,
     plan_cache_info,
 )
+from repro.datalog.plan.kernels import Kernel, compile_kernel, kernels_enabled
 from repro.datalog.plan.physical import (
     CATEGORY_DELTA,
     CATEGORY_RECOMPUTE,
@@ -52,6 +57,10 @@ __all__ = [
     "ORDERINGS",
     "greedy_order",
     "cost_order",
+    "joingraph_enabled",
+    "Kernel",
+    "compile_kernel",
+    "kernels_enabled",
     "compile_program",
     "compile_cached",
     "incremental_executor_for",

@@ -59,7 +59,8 @@ class RuleNode:
     """
 
     __slots__ = ("rule", "positive", "checks", "pre_checks",
-                 "positive_preds", "negated_preds", "body_preds")
+                 "positive_preds", "negated_preds", "body_preds",
+                 "adjacency")
 
     def __init__(self, rule: Rule) -> None:
         check_rule_safety(rule)
@@ -84,6 +85,21 @@ class RuleNode:
             if isinstance(check, NegatedAtom)
         )
         self.body_preds = self.positive_preds | self.negated_preds
+        # Variable-sharing adjacency between the positive atoms, keyed
+        # by atom index.  Computed once per (process-wide) plan: the
+        # join-graph-aware orderer walks it on every (re)ordering.
+        adjacency: dict[int, set[int]] = {
+            node.index: set() for node in self.positive
+        }
+        for a in self.positive:
+            for b in self.positive:
+                if a.index < b.index and a.variables & b.variables:
+                    adjacency[a.index].add(b.index)
+                    adjacency[b.index].add(a.index)
+        self.adjacency: dict[int, frozenset[int]] = {
+            index: frozenset(neighbors)
+            for index, neighbors in adjacency.items()
+        }
 
     def positive_predicates(self) -> frozenset[str]:
         return self.positive_preds
@@ -91,21 +107,14 @@ class RuleNode:
     def negated_predicates(self) -> frozenset[str]:
         return self.negated_preds
 
-    def join_graph(self) -> dict[int, set[int]]:
+    def join_graph(self) -> dict[int, frozenset[int]]:
         """Variable-sharing adjacency between the positive atoms.
 
         ``graph[i]`` holds the indexes of the atoms sharing at least one
         variable with atom ``i`` -- the structure a join order walks.
+        Precomputed at analysis time (see :attr:`adjacency`).
         """
-        graph: dict[int, set[int]] = {
-            node.index: set() for node in self.positive
-        }
-        for a in self.positive:
-            for b in self.positive:
-                if a.index < b.index and a.variables & b.variables:
-                    graph[a.index].add(b.index)
-                    graph[b.index].add(a.index)
-        return graph
+        return self.adjacency
 
     def variables(self) -> set[Variable]:
         out: set[Variable] = set()

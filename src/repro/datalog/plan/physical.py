@@ -26,8 +26,9 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Mapping, Sequence
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields
 
+from repro.config import env_flag
 from repro.errors import EvaluationError, PlanError
 from repro.datalog.ast import (
     Constant,
@@ -36,12 +37,15 @@ from repro.datalog.ast import (
     Variable,
 )
 from repro.datalog.plan.cost import CostModel
+from repro.datalog.plan.kernels import Kernel, compile_kernel, kernels_enabled
 from repro.datalog.plan.logical import AtomNode, LogicalPlan, RuleNode
 from repro.datalog.plan.planner import (
     ORDERING_COST,
+    ORDERING_GREEDY,
     ORDERINGS,
     cost_order,
     greedy_order,
+    joingraph_enabled,
 )
 from repro.relalg.indexes import FactStore
 
@@ -130,36 +134,181 @@ def _undo_to(binding: Binding, trail: list[Variable], mark: int) -> None:
         del binding[trail.pop()]
 
 
-def make_orderer(ordering: str, store: FactStore | None):
-    """The ``(atoms, first) -> order`` strategy for one ordering policy.
+class Orderer:
+    """The join-order strategy bound to one store.
 
-    Cost ordering needs live statistics, so without a store it degrades
-    to the static greedy order (the documented stats-absent fallback).
+    Callable as ``orderer(atoms, first, adjacency)``; cost ordering
+    needs live statistics, so without a store it degrades to the static
+    greedy order (the documented stats-absent fallback).  The instance
+    also carries the ingredients of the order-memo key (see
+    :meth:`CompiledRule.order_for`): the policy, whether join-graph
+    expansion is on, and the store whose relation sizes sign the memo.
     """
-    if ordering == ORDERING_COST and store is not None:
-        model = CostModel(store)
-        return lambda positive, first=None: cost_order(
-            positive, store, model, first
+
+    __slots__ = ("policy", "store", "model", "joingraph", "kernels",
+                 "order_memo", "_sig_cache")
+
+    def __init__(self, ordering: str, store: FactStore | None) -> None:
+        self.store = store
+        # The kill switches are sampled once per orderer -- i.e. once
+        # per step/execute, not once per rule join -- so flipping the
+        # env mid-step is not observed (and os.environ stays off the
+        # per-join path).  REPRO_ORDER_MEMO=0 disables the per-rule
+        # join-order memo (benchmark ablations reconstructing the
+        # replan-per-join behaviour; not a supported production mode).
+        self.joingraph = joingraph_enabled()
+        self.kernels = kernels_enabled()
+        self.order_memo = env_flag(
+            "REPRO_ORDER_MEMO", default=True, error=PlanError
         )
-    return lambda positive, first=None: greedy_order(positive, store, first)
+        self._sig_cache: dict[tuple[str, ...], tuple] = {}
+        if ordering == ORDERING_COST and store is not None:
+            self.policy = ORDERING_COST
+            self.model = CostModel(store)
+        else:
+            self.policy = ORDERING_GREEDY
+            self.model = None
+
+    def __call__(
+        self,
+        positive: Sequence[AtomNode],
+        first: AtomNode | None = None,
+        adjacency: Mapping[int, frozenset[int]] | None = None,
+    ) -> list[AtomNode]:
+        if self.model is not None:
+            return cost_order(
+                positive,
+                self.store,
+                self.model,
+                first,
+                adjacency if self.joingraph else None,
+            )
+        return greedy_order(positive, self.store, first)
+
+    def signature(self, predicates: Sequence[str]) -> tuple:
+        """The memo key under which this orderer's choices stay valid.
+
+        Relation sizes enter by bit length, so a memoized order is
+        reused until some body relation roughly doubles (or empties) --
+        the cardinality drift at which re-planning can pay for itself.
+        Signatures are cached per predicate set for this orderer's
+        lifetime (one step or one execute), which is also the window in
+        which its cost model would see the same statistics.
+        """
+        cached = self._sig_cache.get(predicates)
+        if cached is not None:
+            return cached
+        store = self.store
+        if store is None:
+            sizes: tuple[int, ...] = ()
+        else:
+            sizes = tuple(
+                store.count(pred).bit_length() for pred in predicates
+            )
+        signature = (self.policy, self.joingraph, sizes)
+        self._sig_cache[predicates] = signature
+        return signature
+
+
+def make_orderer(ordering: str, store: FactStore | None) -> Orderer:
+    """The :class:`Orderer` for one (ordering policy, store) pair."""
+    return Orderer(ordering, store)
+
+
+_ORDER_MEMO_LIMIT = 64
+_KERNEL_MEMO_LIMIT = 64
 
 
 class CompiledRule:
-    """One rule's physical state: its node plus memoized check schedules.
+    """One rule's physical state: memoized orders, schedules, and kernels.
 
     Compiled rules live inside the process-wide shared
     :class:`PhysicalPlan`, so concurrent sessions executing the same
-    plan may race on a schedule's first use; the memo is therefore
-    built under a lock and published whole, with the (hot) cached path
-    staying lock-free.
+    plan may race on a schedule's or kernel's first use; those memos are
+    therefore built under a lock and published whole, with the (hot)
+    cached paths staying lock-free.  The order memo is racy-but-benign:
+    every thread computes the same deterministic order for a given key,
+    so a lost publish only costs a recomputation.
     """
 
-    __slots__ = ("node", "_schedules", "_schedule_lock")
+    __slots__ = ("node", "_order_preds", "_orders", "_schedules",
+                 "_kernels", "_schedule_lock")
 
     def __init__(self, node: RuleNode) -> None:
         self.node = node
+        self._order_preds = tuple(sorted(node.positive_preds))
+        self._orders: dict[tuple, list[AtomNode]] = {}
         self._schedules: dict[tuple[int, ...], list[list]] = {}
+        self._kernels: dict[tuple[int, ...], Kernel] = {}
         self._schedule_lock = threading.Lock()
+
+    def order_for(
+        self,
+        orderer: "Orderer",
+        first: AtomNode | None = None,
+        counters: "EvalCounters | None" = None,
+    ) -> Sequence[AtomNode]:
+        """The join order for this rule under ``orderer``, memoized.
+
+        Keyed by the delta occurrence and the orderer's signature
+        (policy + join-graph flag + bit-length relation sizes), so
+        re-planning a rule is a dictionary hit until the body relations'
+        cardinalities drift by ~2x.  ``replans_avoided`` counts the
+        hits.
+        """
+        positive = self.node.positive
+        if len(positive) <= 1:
+            return positive
+        if not orderer.order_memo:
+            return orderer(positive, first, self.node.adjacency)
+        key = (
+            -1 if first is None else first.index,
+            orderer.signature(self._order_preds),
+        )
+        cached = self._orders.get(key)
+        if cached is not None:
+            if counters is not None:
+                counters.replans_avoided += 1
+            return cached
+        order = orderer(positive, first, self.node.adjacency)
+        if len(self._orders) >= _ORDER_MEMO_LIMIT:
+            self._orders.clear()
+        self._orders[key] = order
+        return order
+
+    def kernel_for(
+        self,
+        order: Sequence[AtomNode],
+        counters: "EvalCounters | None" = None,
+    ) -> Kernel:
+        """The compiled kernel for one join order of this rule, cached.
+
+        ``kernels_compiled`` counts fresh compilations,
+        ``kernel_hits`` reuses; one kernel exists per distinct order no
+        matter how many sessions share the plan.
+        """
+        key = tuple(info.index for info in order)
+        cached = self._kernels.get(key)
+        if cached is not None:
+            if counters is not None:
+                counters.kernel_hits += 1
+            return cached
+        # Resolve the check schedule before taking the lock (schedule()
+        # takes the same non-reentrant lock on a miss).
+        checks_at = self.schedule(order)
+        with self._schedule_lock:
+            cached = self._kernels.get(key)
+            if cached is None:
+                if len(self._kernels) >= _KERNEL_MEMO_LIMIT:
+                    self._kernels.clear()
+                cached = compile_kernel(self.node, order, checks_at)
+                self._kernels[key] = cached
+                if counters is not None:
+                    counters.kernels_compiled += 1
+                return cached
+        if counters is not None:
+            counters.kernel_hits += 1
+        return cached
 
     def schedule(self, order: Sequence[AtomNode]) -> list[list]:
         """``checks_at[i]``: checks to run right after ``order[i]`` matches."""
@@ -199,18 +348,28 @@ def _join(
     derived: set[tuple],
     first: AtomNode | None = None,
     first_rows=None,
+    counters: "EvalCounters | None" = None,
 ) -> None:
     """Run the indexed join for one rule, adding head tuples to ``derived``.
 
     With ``first``/``first_rows`` given, that occurrence is evaluated
     first and enumerates only ``first_rows`` (the semi-naive delta
-    restriction); the other atoms read the full store.
+    restriction); the other atoms read the full store.  Dispatches to
+    the rule's compiled kernel unless ``REPRO_COMPILED_KERNELS=0``
+    selects the reference interpreter below.
     """
     node = crule.node
     for check in node.pre_checks:
         if not _check_bound_literal(check, {}, store):
             return
-    order = orderer(node.positive, first)
+    order = crule.order_for(orderer, first, counters)
+    if orderer.kernels:
+        kernel = crule.kernel_for(order, counters)
+        if first_rows is not None:
+            kernel.run_delta(store, derived, first_rows)
+        else:
+            kernel.run_full(store, derived)
+        return
     checks_at = crule.schedule(order)
     head = node.rule.head
     binding: Binding = {}
@@ -247,6 +406,7 @@ def derive_rule(
     store: FactStore,
     orderer,
     delta: Facts | None = None,
+    counters: "EvalCounters | None" = None,
 ) -> set[tuple]:
     """All head tuples one rule derives (optionally delta-restricted)."""
     node = crule.node
@@ -260,13 +420,21 @@ def derive_rule(
             derived.add(node.rule.head.ground_tuple({}))
         return derived
     if delta is None:
-        _join(crule, store, orderer, derived)
+        _join(crule, store, orderer, derived, counters=counters)
         return derived
     for info in node.positive:
         delta_rows = delta.get(info.atom.predicate)
         if not delta_rows:
             continue
-        _join(crule, store, orderer, derived, first=info, first_rows=delta_rows)
+        _join(
+            crule,
+            store,
+            orderer,
+            derived,
+            first=info,
+            first_rows=delta_rows,
+            counters=counters,
+        )
     return derived
 
 
@@ -280,7 +448,11 @@ class EvalCounters:
     because their delta was empty; ``static_cache_hits`` counts
     database-only rules served from cache.  ``plans_compiled`` /
     ``plan_cache_hits`` record whether this session's physical plan was
-    freshly compiled or reused.
+    freshly compiled or reused.  The hot-path counters:
+    ``kernels_compiled`` / ``kernel_hits`` record compiled rule kernels
+    built vs reused (see :mod:`repro.datalog.plan.kernels`), and
+    ``replans_avoided`` counts join orders served from the per-rule
+    memo instead of re-running the cost model.
     """
 
     plans_compiled: int = 0
@@ -289,16 +461,37 @@ class EvalCounters:
     delta_rule_evals: int = 0
     delta_rules_skipped: int = 0
     static_cache_hits: int = 0
+    kernels_compiled: int = 0
+    kernel_hits: int = 0
+    replans_avoided: int = 0
 
     def copy(self) -> "EvalCounters":
-        return replace(self)
+        # Field-by-field construction: this runs twice per submit() (the
+        # before/after delta) and dataclasses.replace() is measurably
+        # slower than a direct call.
+        return EvalCounters(
+            self.plans_compiled,
+            self.plan_cache_hits,
+            self.full_rule_evals,
+            self.delta_rule_evals,
+            self.delta_rules_skipped,
+            self.static_cache_hits,
+            self.kernels_compiled,
+            self.kernel_hits,
+            self.replans_avoided,
+        )
 
     def __sub__(self, other: "EvalCounters") -> "EvalCounters":
         return EvalCounters(
-            **{
-                f.name: getattr(self, f.name) - getattr(other, f.name)
-                for f in fields(self)
-            }
+            self.plans_compiled - other.plans_compiled,
+            self.plan_cache_hits - other.plan_cache_hits,
+            self.full_rule_evals - other.full_rule_evals,
+            self.delta_rule_evals - other.delta_rule_evals,
+            self.delta_rules_skipped - other.delta_rules_skipped,
+            self.static_cache_hits - other.static_cache_hits,
+            self.kernels_compiled - other.kernels_compiled,
+            self.kernel_hits - other.kernel_hits,
+            self.replans_avoided - other.replans_avoided,
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -422,12 +615,14 @@ class IncrementalExecutor:
         for i, crule in enumerate(self.plan.compiled):
             category = self.categories[i]
             if category == CATEGORY_RECOMPUTE:
-                rows = derive_rule(crule, store, orderer)
+                rows = derive_rule(crule, store, orderer, counters=counters)
                 counters.full_rule_evals += 1
             elif category == CATEGORY_STATIC:
                 cache = self._caches[i]
                 if cache is None:
-                    cache = frozenset(derive_rule(crule, store, orderer))
+                    cache = frozenset(
+                        derive_rule(crule, store, orderer, counters=counters)
+                    )
                     self._caches[i] = cache
                     counters.full_rule_evals += 1
                 else:
@@ -436,7 +631,7 @@ class IncrementalExecutor:
             else:  # CATEGORY_DELTA
                 cache = self._caches[i]
                 if cache is None:
-                    cache = derive_rule(crule, store, orderer)
+                    cache = derive_rule(crule, store, orderer, counters=counters)
                     counters.full_rule_evals += 1
                 else:
                     relevant = {
@@ -446,7 +641,8 @@ class IncrementalExecutor:
                     }
                     if relevant:
                         cache |= derive_rule(
-                            crule, store, orderer, delta=relevant
+                            crule, store, orderer, delta=relevant,
+                            counters=counters,
                         )
                         counters.delta_rule_evals += 1
                     else:
@@ -495,13 +691,15 @@ class PhysicalPlan:
         self,
         facts: "Facts | FactStore",
         max_iterations: int = 100_000,
+        counters: "EvalCounters | None" = None,
     ) -> dict[str, frozenset[tuple]]:
         """Stratified fixpoint evaluation; returns all facts (EDB + IDB).
 
         ``facts`` may be a plain mapping or a pre-indexed
         :class:`~repro.relalg.indexes.FactStore`; a store is layered
         over, never mutated, so its indexes (e.g. over a large shared
-        catalog) are reused across executions.
+        catalog) are reused across executions.  ``counters`` (optional)
+        collects the kernel/replan accounting of this execution.
         """
         if isinstance(facts, FactStore):
             store = FactStore(base=facts)
@@ -516,7 +714,10 @@ class PhysicalPlan:
             delta: dict[str, frozenset[tuple]] = {}
             for crule in stratum_rules:
                 head = crule.node.rule.head.predicate
-                fresh = store.add(head, derive_rule(crule, store, orderer))
+                fresh = store.add(
+                    head,
+                    derive_rule(crule, store, orderer, counters=counters),
+                )
                 if fresh:
                     delta[head] = delta.get(head, frozenset()) | fresh
             # Semi-naive iteration to fixpoint.
@@ -533,7 +734,10 @@ class PhysicalPlan:
                     head = node.rule.head.predicate
                     fresh = store.add(
                         head,
-                        derive_rule(crule, store, orderer, delta=delta),
+                        derive_rule(
+                            crule, store, orderer, delta=delta,
+                            counters=counters,
+                        ),
                     )
                     if fresh:
                         next_delta[head] = (
@@ -546,6 +750,7 @@ class PhysicalPlan:
         self,
         facts: "Facts | FactStore",
         delta: Facts,
+        counters: "EvalCounters | None" = None,
     ) -> dict[str, frozenset[tuple]]:
         """One semi-naive delta pass over every rule.
 
@@ -562,7 +767,9 @@ class PhysicalPlan:
         derived: dict[str, frozenset[tuple]] = {}
         for crule in self.compiled:
             head = crule.node.rule.head.predicate
-            rows = derive_rule(crule, store, orderer, delta=delta)
+            rows = derive_rule(
+                crule, store, orderer, delta=delta, counters=counters
+            )
             if rows or head not in derived:
                 derived[head] = derived.get(head, frozenset()) | rows
         return derived
@@ -607,7 +814,7 @@ class PhysicalPlan:
                 if not node.positive:
                     lines.append("    join: (no positive atoms)")
                 else:
-                    order = orderer(node.positive)
+                    order = orderer(node.positive, None, node.adjacency)
                     parts = []
                     bound: set[Variable] = set()
                     for info in order:

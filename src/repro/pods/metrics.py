@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from repro.relalg.interning import interned_constants
+
 if TYPE_CHECKING:
     from repro.datalog.plan import EvalCounters
 
@@ -40,6 +42,10 @@ class RuntimeMetrics:
     collects around every submit: how many physical plans were compiled
     vs reused, and how much per-step work the incremental executor
     turned into delta joins, outright skips, or static-cache hits.
+    ``kernels_compiled`` / ``kernel_hits`` / ``replans_avoided`` do the
+    same for the hot-path machinery -- compiled rule kernels built vs
+    reused and join orders served from the per-rule memo (see
+    :mod:`repro.datalog.plan.kernels`).
     """
 
     sessions_created: int = 0
@@ -58,6 +64,9 @@ class RuntimeMetrics:
     delta_rule_evals: int = 0
     delta_rules_skipped: int = 0
     static_cache_hits: int = 0
+    kernels_compiled: int = 0
+    kernel_hits: int = 0
+    replans_avoided: int = 0
     audited_steps: int = 0
     audit_checks: int = 0
     audit_violations: int = 0
@@ -111,6 +120,9 @@ class RuntimeMetrics:
             self.delta_rule_evals += counters.delta_rule_evals
             self.delta_rules_skipped += counters.delta_rules_skipped
             self.static_cache_hits += counters.static_cache_hits
+            self.kernels_compiled += counters.kernels_compiled
+            self.kernel_hits += counters.kernel_hits
+            self.replans_avoided += counters.replans_avoided
 
     def record_audit(self, outcome) -> None:
         """Fold one audited step's outcome in.
@@ -152,6 +164,9 @@ class RuntimeMetrics:
             total.delta_rule_evals += p.delta_rule_evals
             total.delta_rules_skipped += p.delta_rules_skipped
             total.static_cache_hits += p.static_cache_hits
+            total.kernels_compiled += p.kernels_compiled
+            total.kernel_hits += p.kernel_hits
+            total.replans_avoided += p.replans_avoided
             total.audited_steps += p.audited_steps
             total.audit_checks += p.audit_checks
             total.audit_violations += p.audit_violations
@@ -180,7 +195,13 @@ class RuntimeMetrics:
         return self.step_seconds_total / self.steps_executed
 
     def snapshot(self) -> dict:
-        """A JSON-ready, deterministic-key summary of the counters."""
+        """A JSON-ready, deterministic-key summary of the counters.
+
+        ``interned_constants`` is a process-wide gauge (the live size of
+        the storage layer's constant pool), read at snapshot time rather
+        than accumulated; when worker processes merge snapshots their
+        per-process pools sum.
+        """
         return {
             "sessions_created": self.sessions_created,
             "sessions_resumed": self.sessions_resumed,
@@ -206,6 +227,10 @@ class RuntimeMetrics:
             "delta_rule_evals": self.delta_rule_evals,
             "delta_rules_skipped": self.delta_rules_skipped,
             "static_cache_hits": self.static_cache_hits,
+            "kernels_compiled": self.kernels_compiled,
+            "kernel_hits": self.kernel_hits,
+            "replans_avoided": self.replans_avoided,
+            "interned_constants": interned_constants(),
             "audited_steps": self.audited_steps,
             "audit_checks": self.audit_checks,
             "audit_violations": self.audit_violations,
@@ -228,6 +253,10 @@ _SUMMED_KEYS = (
     "delta_rule_evals",
     "delta_rules_skipped",
     "static_cache_hits",
+    "kernels_compiled",
+    "kernel_hits",
+    "replans_avoided",
+    "interned_constants",
     "audited_steps",
     "audit_checks",
     "audit_violations",

@@ -11,6 +11,12 @@ from repro.relalg.domain import LabeledNull, active_domain, fresh_null, is_null
 from repro.relalg.schema import DatabaseSchema, RelationSchema
 from repro.relalg.instance import Instance
 from repro.relalg.indexes import FactStore, IndexStats
+from repro.relalg.interning import (
+    clear_intern_pools,
+    intern_constant,
+    intern_row,
+    interned_constants,
+)
 from repro.relalg.algebra import (
     difference,
     intersection,
@@ -55,6 +61,10 @@ __all__ = [
     "Instance",
     "FactStore",
     "IndexStats",
+    "intern_constant",
+    "intern_row",
+    "interned_constants",
+    "clear_intern_pools",
     "select",
     "project",
     "natural_join",

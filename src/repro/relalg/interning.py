@@ -1,0 +1,99 @@
+"""Constant and row interning for the columnar fact storage.
+
+The datalog hot path churns through millions of small tuples whose
+values are drawn from a tiny active domain (product names, customer
+ids, prices).  Interning canonicalizes them process-wide: equal
+constants share one object and equal rows share one tuple, so
+
+* equality checks inside joins hit CPython's identity fast path,
+* the per-position columns of a :class:`~repro.relalg.indexes.FactStore`
+  reference shared objects instead of per-row copies, and
+* a session's cumulative state, the shared catalog store, and every
+  per-step layer agree on object identity for equal facts.
+
+Interning is *canonicalization only*: nothing is ever allowed to depend
+on pool residency for correctness, so both pools are bounded and simply
+cleared when they overflow (mirroring the plan cache's policy).  The
+pools are process-wide and written from the worker threads of a
+concurrent ``submit_batch``; all mutation happens under one lock, and
+reads go through ``dict.setdefault``-free locked paths so one canonical
+object wins every race.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "intern_constant",
+    "intern_row",
+    "interned_constants",
+    "clear_intern_pools",
+]
+
+_POOL_LIMIT = 1 << 20
+
+_constants: dict = {}
+_rows: dict[tuple, tuple] = {}
+_lock = threading.Lock()
+
+
+def intern_constant(value):
+    """The canonical object equal to ``value`` (bools/unhashables pass through).
+
+    The first caller to intern a value donates its object; later equal
+    values are swapped for the canonical one.  Values that cannot be
+    hashed (never produced by the parsers, but FactStore accepts raw
+    tuples) are returned untouched.
+    """
+    try:
+        canonical = _constants.get(value)
+    except TypeError:
+        return value
+    if canonical is not None:
+        return canonical
+    with _lock:
+        canonical = _constants.get(value)
+        if canonical is None:
+            if len(_constants) >= _POOL_LIMIT:
+                _constants.clear()
+            _constants[value] = value
+            canonical = value
+    return canonical
+
+
+def intern_row(row: tuple) -> tuple:
+    """The canonical tuple equal to ``row``, with interned constants.
+
+    Rows containing unhashable values are returned untouched (they can
+    never be stored in a relation's row set anyway).
+    """
+    try:
+        canonical = _rows.get(row)
+    except TypeError:
+        return row
+    if canonical is not None:
+        return canonical
+    # Intern the constants before taking the lock (the lock is not
+    # reentrant, and intern_constant takes it on a pool miss).
+    interned = tuple(intern_constant(value) for value in row)
+    with _lock:
+        canonical = _rows.get(interned)
+        if canonical is None:
+            if len(_rows) >= _POOL_LIMIT:
+                _rows.clear()
+            _rows[interned] = interned
+            canonical = interned
+    return canonical
+
+
+def interned_constants() -> int:
+    """Current size of the constant pool (a gauge, for metrics)."""
+    return len(_constants)
+
+
+def clear_intern_pools() -> None:
+    """Drop both pools (tests and benchmarks)."""
+    with _lock:
+        _constants.clear()
+        _rows.clear()

@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
+from repro.config import parse_int
 from repro.errors import StoreError
 from repro.pods.store import decode_facts, encode_facts, open_store
 from repro.verify.api.auditor import AuditFinding
@@ -193,9 +194,30 @@ class AuditLedger:
     process), a directory path (JSONL), a ``.sqlite`` path, or a live
     store object.  Thread-safe: appends arrive concurrently from the
     workers of a concurrent ``submit_batch``.
+
+    ``max_findings_per_session`` bounds retention: when an append would
+    exceed the bound, the oldest records of that session are pruned on
+    the write path (every store backend truncates a recreated session
+    id, so pruning is a rewrite of the newest ``max - 1`` records plus
+    the new one).  The bound survives restarts -- a rehydrated ledger
+    keeps pruning from the persisted counts -- and ``None`` (the
+    default) retains everything, as before.
     """
 
-    def __init__(self, store: "SessionStore | str | None" = None) -> None:
+    def __init__(
+        self,
+        store: "SessionStore | str | None" = None,
+        *,
+        max_findings_per_session: "int | None" = None,
+    ) -> None:
+        if max_findings_per_session is not None:
+            max_findings_per_session = parse_int(
+                "max_findings_per_session",
+                max_findings_per_session,
+                minimum=1,
+                error=StoreError,
+            )
+        self._max = max_findings_per_session
         self._store = open_store(store)
         self._lock = threading.Lock()
         # Appended-record count per ledger session; primed from the
@@ -216,7 +238,12 @@ class AuditLedger:
             return sorted(self._counts)
 
     def append(self, session_id: str, record) -> None:
-        """Persist one finding/report under the audited session's id."""
+        """Persist one finding/report under the audited session's id.
+
+        With a retention bound, an append that would exceed it first
+        drops the session's oldest records (oldest-first pruning on the
+        write path).
+        """
         blob = json.dumps(encode_record(record), sort_keys=True)
         entry = {LEDGER_RELATION: frozenset({(blob,)})}
         with self._lock:
@@ -224,9 +251,33 @@ class AuditLedger:
             if count is None:
                 self._store.record_created(session_id)
                 count = 0
+            if self._max is not None and count >= self._max:
+                count = self._prune_to(session_id, self._max - 1)
             count += 1
             self._counts[session_id] = count
             self._store.record_step(session_id, count, {}, entry)
+
+    def _prune_to(self, session_id: str, keep: int) -> int:
+        """Rewrite one session retaining only its newest ``keep`` records.
+
+        Relies on the store contract shared by all three backends:
+        ``record_created`` on an existing id truncates its history, so
+        the rewrite is truncate + re-append (renumbered from 1).  Called
+        under the lock.  Returns the retained count.
+        """
+        blobs: list[str] = []
+        snapshot = self._store.load(session_id)
+        if snapshot is not None:
+            for entry in snapshot.log_facts:
+                for row in entry.get(LEDGER_RELATION, ()):
+                    blobs.append(row[0])
+        kept = blobs[max(0, len(blobs) - keep):] if keep > 0 else []
+        self._store.record_created(session_id)
+        for number, blob in enumerate(kept, 1):
+            self._store.record_step(
+                session_id, number, {}, {LEDGER_RELATION: frozenset({(blob,)})}
+            )
+        return len(kept)
 
     def records(self, session_id: str) -> list:
         """The decoded records of one session, in append order."""

@@ -1,0 +1,334 @@
+"""Tests for the compiled rule kernels and the columnar store they read.
+
+The load-bearing suite is the hypothesis equivalence block: over random
+programs and databases, the compiled-kernel executor and the reference
+interpreter (``REPRO_COMPILED_KERNELS=0``) derive byte-identical
+fixpoints, and the columnar access paths (row lists, columns, id
+buckets) agree with the tuple-bucket index and with brute force.  The
+unit tests pin the kernel mechanics the equivalence suite exercises
+only probabilistically: the three access modes, delta-entry constant
+filtering, repeated-variable rechecks, and the order/kernel memos with
+their counters and kill switches.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_program
+from repro.datalog.evaluate import evaluate_program_naive
+from repro.datalog.plan import (
+    ORDERING_COST,
+    EvalCounters,
+    LogicalPlan,
+    Planner,
+    compile_kernel,
+    kernels_enabled,
+)
+from repro.datalog.plan.physical import make_orderer
+from repro.errors import PlanError
+from repro.relalg import FactStore
+
+values = st.sampled_from(["a", "b", "c", "d"])
+pairs = st.frozensets(st.tuples(values, values), max_size=10)
+singles = st.frozensets(st.tuples(values), max_size=4)
+
+# Same shapes as tests/test_plan.py, plus bodies that hit every kernel
+# mode: fully-bound membership probes, constant key parts, repeated
+# variables, and multi-rule recursion (the delta entry point).
+PROGRAMS = [
+    "p(X, Z) :- e(X, Y), e(Y, Z);",
+    "p(X, Y) :- e(X, Y), NOT f(Y);",
+    "p(X, Y) :- f(X), NOT e(X, Y), e(Y, X);",
+    "p(X, Y) :- e(X, Y), X <> Y;",
+    "p(X) :- f(X), X <> a;",
+    "p(X) :- e(X, X);",
+    "p(X) :- e(a, X);",
+    "p(X) :- f(X), e(X, X);",
+    "p(X, Z) :- e(X, Y), e(Y, Z), NOT e(X, Z), X <> Z;",
+    "t(X, Y) :- e(X, Y); t(X, Z) :- t(X, Y), e(Y, Z);",
+    """
+    t(X, Y) :- e(X, Y);
+    t(X, Z) :- t(X, Y), e(Y, Z);
+    p(X, Y) :- f(X), f(Y), NOT t(X, Y), X <> Y;
+    """,
+]
+
+
+@contextmanager
+def env(name, value):
+    """Set one environment variable for the duration of a block."""
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[name]
+        else:
+            os.environ[name] = previous
+
+
+def fresh_plan(source):
+    """An uncached plan (private memos, exact counter assertions)."""
+    return Planner(ORDERING_COST).plan(parse_program(source))
+
+
+class TestKernelInterpreterEquivalence:
+    """Kernels derive exactly what the reference interpreter derives.
+
+    The kill switch is sampled per execution, so the same shared plan
+    object runs both modes; its per-rule memos are keyed so the modes
+    never read each other's entries.
+    """
+
+    @given(st.sampled_from(PROGRAMS), pairs, singles)
+    @settings(max_examples=120, deadline=None)
+    def test_fixpoints_agree_across_modes(self, source, edges, unary):
+        plan = fresh_plan(source)
+        facts = {"e": edges, "f": unary}
+        with env("REPRO_COMPILED_KERNELS", "1"):
+            compiled = plan.execute(facts)
+        with env("REPRO_COMPILED_KERNELS", "0"):
+            interpreted = plan.execute(facts)
+        assert compiled == interpreted
+        assert compiled == evaluate_program_naive(parse_program(source), facts)
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_delta_passes_agree_across_modes(self, edges):
+        plan = fresh_plan("t(X, Z) :- t(X, Y), e(Y, Z);")
+        split = len(edges) // 2
+        old = frozenset(list(edges)[:split])
+        delta = {"t": edges - old}
+        facts = {"e": edges, "t": edges}
+        with env("REPRO_COMPILED_KERNELS", "1"):
+            compiled = plan.execute_delta(facts, delta)
+        with env("REPRO_COMPILED_KERNELS", "0"):
+            interpreted = plan.execute_delta(facts, delta)
+        assert compiled == interpreted
+
+
+class TestColumnarStoreEquivalence:
+    """Columnar access (row list / columns / id buckets) vs brute force."""
+
+    @given(pairs, st.sampled_from([(0,), (1,), (0, 1)]))
+    @settings(max_examples=60, deadline=None)
+    def test_id_buckets_match_tuple_buckets_and_brute_force(
+        self, edges, positions
+    ):
+        store = FactStore({"e": edges})
+        rows = store.row_list("e")
+        assert set(rows) == set(edges)
+        keys = {tuple(row[p] for p in positions) for row in edges}
+        for key in keys:
+            via_ids = sorted(
+                rows[rid] for rid in store.lookup_ids("e", positions, key)
+            )
+            via_tuples = sorted(store.lookup("e", positions, key))
+            brute = sorted(
+                row
+                for row in edges
+                if all(row[p] == k for p, k in zip(positions, key))
+            )
+            assert via_ids == via_tuples == brute
+        # A key no row has yields an empty bucket, not a KeyError.
+        assert store.lookup_ids("e", positions, ("nope",) * len(positions)) == ()
+
+    @given(pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_columns_are_row_list_projections(self, edges):
+        store = FactStore({"e": edges})
+        rows = store.row_list("e")
+        for position in (0, 1):
+            column = store.column("e", position)
+            assert list(column) == [row[position] for row in rows]
+
+    def test_columns_pad_short_rows_with_none(self):
+        store = FactStore({"m": {(1,), (1, 2), (3, 4)}})
+        rows = store.row_list("m")
+        column = store.column("m", 1)
+        assert [
+            row[1] if len(row) > 1 else None for row in rows
+        ] == list(column)
+        # Short rows never appear in buckets wider than they are.
+        hits = {
+            rows[rid] for rid in store.lookup_ids("m", (1,), (2,))
+        }
+        assert hits == {(1, 2)}
+
+    def test_add_maintains_ids_columns_and_buckets_incrementally(self):
+        store = FactStore({"e": {(1, 2)}})
+        # Touch every lazy structure, then grow the relation.
+        store.row_list("e")
+        store.column("e", 0)
+        store.lookup_ids("e", (0,), (1,))
+        before = store.version
+        fresh = store.add("e", [(1, 3), (1, 2)])
+        assert fresh == {(1, 3)}
+        assert store.version > before
+        rows = store.row_list("e")
+        assert rows[-1] == (1, 3)
+        assert list(store.column("e", 0)) == [row[0] for row in rows]
+        assert sorted(
+            rows[rid] for rid in store.lookup_ids("e", (0,), (1,))
+        ) == [(1, 2), (1, 3)]
+
+    def test_layered_ids_delegate_to_base(self):
+        base = FactStore({"e": frozenset({(1, 2), (2, 3)})})
+        base_rows = base.row_list("e")
+        layered = FactStore({"f": {(9,)}}, base=base)
+        assert layered.row_list("e") is base_rows
+        for key in ((1,), (2,)):
+            assert layered.lookup_ids("e", (0,), key) == base.lookup_ids(
+                "e", (0,), key
+            )
+
+    def test_stats_cache_invalidates_on_version_bump(self):
+        store = FactStore({"e": {(1, 2), (2, 2)}})
+        assert store.index_stats("e", (1,)).distinct_keys == 1
+        store.add("e", [(3, 9)])
+        assert store.index_stats("e", (1,)).distinct_keys == 2
+
+
+class TestKernelMechanics:
+    def rule_node(self, source):
+        return LogicalPlan.of(parse_program(source)).rules[0]
+
+    def run_full(self, source, facts):
+        node = self.rule_node(source)
+        order = node.positive
+        checks_at = [[] for _ in order]
+        for check in node.checks:
+            checks_at[-1].append(check)
+        kernel = compile_kernel(node, order, checks_at)
+        derived: set = set()
+        kernel.run_full(FactStore(facts), derived)
+        return derived
+
+    def test_constant_key_parts(self):
+        derived = self.run_full(
+            "p(X) :- e(a, X);", {"e": {("a", "b"), ("c", "d")}}
+        )
+        assert derived == {("b",)}
+
+    def test_repeated_variable_recheck(self):
+        derived = self.run_full(
+            "p(X) :- e(X, X);", {"e": {("a", "a"), ("a", "b"), ("c", "c")}}
+        )
+        assert derived == {("a",), ("c",)}
+
+    def test_fully_bound_level_is_a_membership_probe(self):
+        derived = self.run_full(
+            "p(X) :- f(X), e(X, X);",
+            {"f": {("a",), ("b",)}, "e": {("a", "a"), ("b", "c")}},
+        )
+        assert derived == {("a",)}
+
+    def test_checks_run_at_their_scheduled_level(self):
+        derived = self.run_full(
+            "p(X, Y) :- e(X, Y), NOT f(Y), X <> Y;",
+            {"e": {("a", "b"), ("a", "c"), ("d", "d")}, "f": {("c",)}},
+        )
+        assert derived == {("a", "b")}
+
+    def test_delta_entry_filters_constants_and_duplicates(self):
+        node = self.rule_node("p(X) :- e(a, X, X);")
+        kernel = compile_kernel(node, node.positive, [[]])
+        store = FactStore({"e": {("a", "b", "b")}})
+        derived: set = set()
+        # Rows that fail the constant, the repeated variable, or the
+        # arity are supplied raw (no index filtered them) and must be
+        # rejected by the delta entry itself.
+        kernel.run_delta(
+            store,
+            derived,
+            [("a", "b", "b"), ("z", "b", "b"), ("a", "b", "c"), ("a", "b")],
+        )
+        assert derived == {("b",)}
+
+    def test_empty_order_rejected(self):
+        node = self.rule_node("p(X) :- e(X, X);")
+        with pytest.raises(PlanError, match="empty join order"):
+            compile_kernel(node, [], [])
+
+
+class TestMemosAndSwitches:
+    SOURCE = "p(X, Z) :- e(X, Y), f(Y, Z);"
+    FACTS = {
+        "e": frozenset({("a", "b"), ("b", "c")}),
+        "f": frozenset({("b", "d")}),
+    }
+
+    def test_kernel_compiled_once_then_hit(self):
+        plan = fresh_plan(self.SOURCE)
+        with env("REPRO_COMPILED_KERNELS", "1"):
+            first = EvalCounters()
+            plan.execute(self.FACTS, counters=first)
+            assert first.kernels_compiled == 1
+            assert first.kernel_hits == 0
+            assert first.replans_avoided == 0
+            second = EvalCounters()
+            plan.execute(self.FACTS, counters=second)
+            assert second.kernels_compiled == 0
+            assert second.kernel_hits == 1
+            assert second.replans_avoided == 1
+
+    def test_order_memo_disabled_by_flag(self):
+        plan = fresh_plan(self.SOURCE)
+        with env("REPRO_COMPILED_KERNELS", "1"), env("REPRO_ORDER_MEMO", "0"):
+            counters = EvalCounters()
+            plan.execute(self.FACTS, counters=counters)
+            plan.execute(self.FACTS, counters=counters)
+            assert counters.replans_avoided == 0
+            # The kernel memo is keyed by the order, not the memo flag.
+            assert counters.kernels_compiled == 1
+            assert counters.kernel_hits == 1
+
+    def test_memo_key_tracks_cardinality_drift(self):
+        plan = fresh_plan(self.SOURCE)
+        store = FactStore({name: set(rows) for name, rows in self.FACTS.items()})
+        counters = EvalCounters()
+        plan.execute(store, counters=counters)
+        plan.execute(store, counters=counters)
+        assert counters.replans_avoided == 1
+        # Doubling a body relation changes the signature: a replan, not
+        # a (stale) memo hit.
+        store.add("e", [("x%d" % i, "y") for i in range(2)])
+        plan.execute(store, counters=counters)
+        assert counters.replans_avoided == 1
+
+    def test_single_atom_rules_skip_the_memo(self):
+        plan = fresh_plan("p(X) :- e(X, X);")
+        counters = EvalCounters()
+        plan.execute(self.FACTS, counters=counters)
+        plan.execute(self.FACTS, counters=counters)
+        assert counters.replans_avoided == 0
+
+    def test_kill_switch_selects_the_interpreter(self):
+        with env("REPRO_COMPILED_KERNELS", "0"):
+            assert not kernels_enabled()
+            assert not make_orderer(ORDERING_COST, FactStore({})).kernels
+            plan = fresh_plan(self.SOURCE)
+            counters = EvalCounters()
+            result = plan.execute(self.FACTS, counters=counters)
+            assert counters.kernels_compiled == 0
+            assert counters.kernel_hits == 0
+        assert result["p"] == frozenset({("a", "d")})
+
+    def test_invalid_flag_value_rejected(self):
+        with env("REPRO_COMPILED_KERNELS", "maybe"):
+            with pytest.raises(PlanError, match="REPRO_COMPILED_KERNELS"):
+                kernels_enabled()
+
+    def test_flags_are_sampled_per_orderer(self):
+        store = FactStore({})
+        with env("REPRO_COMPILED_KERNELS", "0"):
+            orderer = make_orderer(ORDERING_COST, store)
+        # Flipping the environment after construction is not observed.
+        assert not orderer.kernels
+        with env("REPRO_COMPILED_KERNELS", "1"):
+            assert make_orderer(ORDERING_COST, store).kernels

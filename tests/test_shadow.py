@@ -350,6 +350,91 @@ class TestAuditLedger:
             decode_record({"type": "mystery"})
 
 
+class TestLedgerRetention:
+    """max_findings_per_session= prunes oldest-first on the write path."""
+
+    @staticmethod
+    def finding(step):
+        from repro.shadow.ledger import LedgerSpec
+        from repro.verify.api import AuditFinding
+
+        return AuditFinding(
+            session_id="s1",
+            step=step,
+            spec=LedgerSpec("retention"),
+            violation=f"violation #{step}",
+        )
+
+    @staticmethod
+    def open_ledger(kind, tmp, max_findings):
+        if kind == "memory":
+            target = None
+        elif kind == "jsonl":
+            target = os.path.join(tmp, "ledger")
+        else:
+            target = os.path.join(tmp, "ledger.sqlite")
+        return AuditLedger(target, max_findings_per_session=max_findings)
+
+    @pytest.mark.parametrize("kind", ["memory", "jsonl", "sqlite"])
+    def test_prunes_oldest_first_and_survives_restart(self, kind):
+        with tempfile.TemporaryDirectory() as tmp:
+            ledger = self.open_ledger(kind, tmp, max_findings=3)
+            for step in range(1, 8):
+                ledger.append("s1", self.finding(step))
+            kept = [record.step for record in ledger.records("s1")]
+            assert kept == [5, 6, 7]
+            # Restart: a fresh ledger over the same backing store keeps
+            # exactly the retained tail, byte-identically.
+            before = [
+                json.dumps(encode_record(r), sort_keys=True)
+                for r in ledger.records("s1")
+            ]
+            if kind == "memory":
+                reborn = AuditLedger(
+                    ledger.store, max_findings_per_session=3
+                )
+            else:
+                ledger.close()
+                target = (
+                    os.path.join(tmp, "ledger")
+                    if kind == "jsonl"
+                    else os.path.join(tmp, "ledger.sqlite")
+                )
+                reborn = AuditLedger(target, max_findings_per_session=3)
+            after = [
+                json.dumps(encode_record(r), sort_keys=True)
+                for r in reborn.records("s1")
+            ]
+            assert after == before
+            # ...and keeps enforcing the bound from the persisted count.
+            reborn.append("s1", self.finding(8))
+            assert [r.step for r in reborn.records("s1")] == [6, 7, 8]
+            reborn.close()
+
+    @pytest.mark.parametrize("kind", ["memory", "jsonl", "sqlite"])
+    def test_bound_of_one_keeps_only_the_newest(self, kind):
+        with tempfile.TemporaryDirectory() as tmp:
+            ledger = self.open_ledger(kind, tmp, max_findings=1)
+            for step in (1, 2, 3):
+                ledger.append("s1", self.finding(step))
+            assert [r.step for r in ledger.records("s1")] == [3]
+            ledger.close()
+
+    def test_unbounded_default_retains_everything(self):
+        ledger = AuditLedger(None)
+        for step in range(1, 6):
+            ledger.append("s1", self.finding(step))
+        assert [r.step for r in ledger.records("s1")] == [1, 2, 3, 4, 5]
+
+    def test_retention_knob_validation(self):
+        from repro.errors import StoreError
+
+        with pytest.raises(StoreError):
+            AuditLedger(None, max_findings_per_session=0)
+        with pytest.raises(StoreError):
+            AuditLedger(None, max_findings_per_session="many")
+
+
 # -- check_every amortization -------------------------------------------------
 
 
