@@ -199,8 +199,9 @@ class RuntimeMetrics:
 
         ``interned_constants`` is a process-wide gauge (the live size of
         the storage layer's constant pool), read at snapshot time rather
-        than accumulated; when worker processes merge snapshots their
-        per-process pools sum.
+        than accumulated; merges report the largest observed pool (see
+        :func:`merge_snapshots` -- summing a gauge would double-count
+        whenever two snapshots come from the same process).
         """
         return {
             "sessions_created": self.sessions_created,
@@ -256,11 +257,15 @@ _SUMMED_KEYS = (
     "kernels_compiled",
     "kernel_hits",
     "replans_avoided",
-    "interned_constants",
     "audited_steps",
     "audit_checks",
     "audit_violations",
 )
+
+#: snapshot() keys that are point-in-time gauges: merging takes the max
+#: (summing would double-count whenever two snapshots observe the same
+#: process's pool -- successive snapshots, or threads of one worker).
+_GAUGE_KEYS = ("interned_constants",)
 
 
 def merge_snapshots(snapshots) -> dict:
@@ -270,16 +275,19 @@ def merge_snapshots(snapshots) -> dict:
     :meth:`RuntimeMetrics.merged`: worker processes can only ship the
     JSON-ready snapshot dict across the wire, not the live metrics
     object, so the front-end merges at the dict level -- counts add,
-    latency extremes combine, the elapsed clock is the widest worker's
-    (workers start together, so wall-clock rates stay end-to-end), and
-    the derived rates are recomputed from the merged totals.  Snapshot
-    keys a worker does not report (older wire versions) count as zero.
+    gauges take their max, latency extremes combine, the elapsed clock
+    is the widest worker's (workers start together, so wall-clock rates
+    stay end-to-end), and the derived rates are recomputed from the
+    merged totals.  Snapshot keys a worker does not report (older wire
+    versions) count as zero.
     """
     snapshots = list(snapshots)
     merged: dict = {key: 0 for key in _SUMMED_KEYS}
     for snapshot in snapshots:
         for key in _SUMMED_KEYS:
             merged[key] += snapshot.get(key, 0)
+    for key in _GAUGE_KEYS:
+        merged[key] = max((s.get(key, 0) for s in snapshots), default=0)
     merged["step_seconds_total"] = round(merged["step_seconds_total"], 9)
     elapsed = max(
         (s.get("elapsed_seconds", 0.0) for s in snapshots), default=0.0

@@ -57,6 +57,21 @@ _IdBuckets = dict[Key, list[int]]
 _EMPTY: tuple = ()
 
 
+class _Pad:
+    """The padding marker for short rows in columns (see :meth:`FactStore.column`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<pad>"
+
+
+#: Fills column slots of rows too short for the position.  A dedicated
+#: sentinel -- not ``None`` -- so a genuine ``None`` data value is never
+#: mistaken for arity padding (e.g. by ``index_stats`` distinct counts).
+PAD = _Pad()
+
+
 @dataclass(frozen=True)
 class IndexStats:
     """Statistics of one (predicate, positions) hash index.
@@ -224,8 +239,8 @@ class FactStore:
     def column(self, predicate: str, position: int) -> Sequence:
         """The values of ``predicate`` at ``position``, indexed by row id.
 
-        Rows too short for the position hold ``None`` (they can never
-        match a query bound on it; the arity guard filters them).
+        Rows too short for the position hold :data:`PAD` (they can
+        never match a query bound on it; the arity guard filters them).
         """
         per_pred = self._columns.get(predicate)
         if per_pred is not None:
@@ -242,7 +257,7 @@ class FactStore:
             cached = per_pred.get(position)
             if cached is None:
                 cached = [
-                    row[position] if len(row) > position else None
+                    row[position] if len(row) > position else PAD
                     for row in rows
                 ]
                 per_pred[position] = cached
@@ -364,7 +379,7 @@ class FactStore:
             distinct = 1 if rows else 0
         elif len(positions) == 1:
             column = self.column(predicate, positions[0])
-            distinct = len(set(column)) - (1 if None in column else 0)
+            distinct = len(set(column)) - (1 if PAD in column else 0)
         else:
             width = max(positions) + 1
             distinct = len(
@@ -426,7 +441,7 @@ class FactStore:
             row_list.extend(fresh)
         for position, column in self._columns.get(predicate, {}).items():
             column.extend(
-                row[position] if len(row) > position else None
+                row[position] if len(row) > position else PAD
                 for row in fresh
             )
         for positions, buckets in self._id_indexes.get(predicate, {}).items():

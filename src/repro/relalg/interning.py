@@ -3,7 +3,9 @@
 The datalog hot path churns through millions of small tuples whose
 values are drawn from a tiny active domain (product names, customer
 ids, prices).  Interning canonicalizes them process-wide: equal
-constants share one object and equal rows share one tuple, so
+same-typed constants share one object and equal same-typed rows share
+one tuple (pools are keyed by ``(type, value)``, so cross-type equal
+values like ``True``/``1``/``1.0`` are never conflated), so
 
 * equality checks inside joins hit CPython's identity fast path,
 * the per-position columns of a :class:`~repro.relalg.indexes.FactStore`
@@ -39,25 +41,33 @@ _lock = threading.Lock()
 
 
 def intern_constant(value):
-    """The canonical object equal to ``value`` (bools/unhashables pass through).
+    """The canonical object equal to ``value`` (singletons/unhashables pass through).
 
     The first caller to intern a value donates its object; later equal
-    values are swapped for the canonical one.  Values that cannot be
-    hashed (never produced by the parsers, but FactStore accepts raw
-    tuples) are returned untouched.
+    values *of the same type* are swapped for the canonical one.  The
+    pool is keyed by ``(type, value)``, never by bare value: ``True``,
+    ``1``, and ``1.0`` compare equal across types, and keying by
+    equality alone would silently rewrite one to another (pool-order
+    dependent) on the way into a store.  ``None``/``True``/``False``
+    are already process-wide singletons and skip the pool; values that
+    cannot be hashed (never produced by the parsers, but FactStore
+    accepts raw tuples) are returned untouched.
     """
+    if value is None or value is True or value is False:
+        return value
+    key = (value.__class__, value)
     try:
-        canonical = _constants.get(value)
+        canonical = _constants.get(key)
     except TypeError:
         return value
     if canonical is not None:
         return canonical
     with _lock:
-        canonical = _constants.get(value)
+        canonical = _constants.get(key)
         if canonical is None:
             if len(_constants) >= _POOL_LIMIT:
                 _constants.clear()
-            _constants[value] = value
+            _constants[key] = value
             canonical = value
     return canonical
 
@@ -65,11 +75,15 @@ def intern_constant(value):
 def intern_row(row: tuple) -> tuple:
     """The canonical tuple equal to ``row``, with interned constants.
 
+    The pool is keyed by the per-element ``(type, value)`` pairs, so a
+    cached tuple is only returned when the element *types* match too --
+    ``("widget", True)`` and ``("widget", 1)`` stay distinct tuples.
     Rows containing unhashable values are returned untouched (they can
     never be stored in a relation's row set anyway).
     """
     try:
-        canonical = _rows.get(row)
+        key = tuple((value.__class__, value) for value in row)
+        canonical = _rows.get(key)
     except TypeError:
         return row
     if canonical is not None:
@@ -78,11 +92,11 @@ def intern_row(row: tuple) -> tuple:
     # reentrant, and intern_constant takes it on a pool miss).
     interned = tuple(intern_constant(value) for value in row)
     with _lock:
-        canonical = _rows.get(interned)
+        canonical = _rows.get(key)
         if canonical is None:
             if len(_rows) >= _POOL_LIMIT:
                 _rows.clear()
-            _rows[interned] = interned
+            _rows[key] = interned
             canonical = interned
     return canonical
 

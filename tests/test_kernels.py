@@ -30,7 +30,9 @@ from repro.datalog.plan import (
 )
 from repro.datalog.plan.physical import make_orderer
 from repro.errors import PlanError
-from repro.relalg import FactStore
+from repro.relalg import FactStore, clear_intern_pools
+from repro.relalg.indexes import PAD
+from repro.relalg.interning import intern_constant, intern_row
 
 values = st.sampled_from(["a", "b", "c", "d"])
 pairs = st.frozensets(st.tuples(values, values), max_size=10)
@@ -147,12 +149,12 @@ class TestColumnarStoreEquivalence:
             column = store.column("e", position)
             assert list(column) == [row[position] for row in rows]
 
-    def test_columns_pad_short_rows_with_none(self):
+    def test_columns_pad_short_rows_with_sentinel(self):
         store = FactStore({"m": {(1,), (1, 2), (3, 4)}})
         rows = store.row_list("m")
         column = store.column("m", 1)
         assert [
-            row[1] if len(row) > 1 else None for row in rows
+            row[1] if len(row) > 1 else PAD for row in rows
         ] == list(column)
         # Short rows never appear in buckets wider than they are.
         hits = {
@@ -176,6 +178,12 @@ class TestColumnarStoreEquivalence:
         assert sorted(
             rows[rid] for rid in store.lookup_ids("e", (0,), (1,))
         ) == [(1, 2), (1, 3)]
+
+    def test_index_stats_counts_genuine_none_values(self):
+        # A data value of None is distinct-counted; only the PAD
+        # sentinel (arity padding for short rows) is excluded.
+        store = FactStore({"m": {(1,), (1, None), (3, 4)}})
+        assert store.index_stats("m", (1,)).distinct_keys == 2
 
     def test_layered_ids_delegate_to_base(self):
         base = FactStore({"e": frozenset({(1, 2), (2, 3)})})
@@ -332,3 +340,48 @@ class TestMemosAndSwitches:
         assert not orderer.kernels
         with env("REPRO_COMPILED_KERNELS", "1"):
             assert make_orderer(ORDERING_COST, store).kernels
+
+
+class TestInterningTypeFidelity:
+    """Pools are keyed by (type, value): cross-type equals never conflate."""
+
+    def setup_method(self):
+        clear_intern_pools()
+
+    def teardown_method(self):
+        clear_intern_pools()
+
+    def test_bool_survives_prior_int_interning(self):
+        # The reviewed bug: after the catalog interns int 1, a
+        # bool-valued row must not come back as ("widget", 1).
+        intern_constant(1)
+        row = intern_row(("widget", True))
+        assert row[1] is True
+
+    def test_int_survives_prior_bool_interning(self):
+        intern_constant(True)
+        row = intern_row(("widget", 1))
+        assert type(row[1]) is int
+
+    def test_float_survives_prior_int_interning(self):
+        intern_constant(10)
+        assert repr(intern_constant(10.0)) == "10.0"
+
+    def test_store_add_preserves_value_types(self):
+        intern_constant(1)
+        store = FactStore()
+        store.add("p", [("widget", True)])
+        (row,) = store.rows("p")
+        assert row[1] is True
+
+    def test_equal_same_typed_rows_share_one_tuple(self):
+        a = intern_row(("wid" + "get", 7))
+        b = intern_row(("widge" + "t", 7))
+        assert a is b
+
+    def test_singletons_and_unhashables_pass_through(self):
+        assert intern_constant(None) is None
+        assert intern_constant(True) is True
+        unhashable = ["not", "hashable"]
+        assert intern_constant(unhashable) is unhashable
+        assert intern_row(("a", unhashable)) == ("a", unhashable)

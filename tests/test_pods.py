@@ -21,6 +21,7 @@ from repro.pods import (
     SessionHandle,
     ShardedPodService,
     StepRequest,
+    merge_snapshots,
     open_store,
     shard_of,
 )
@@ -477,6 +478,18 @@ class TestMergedMetrics:
         merged = RuntimeMetrics.merged([])
         assert merged.steps_executed == 0
         assert merged.snapshot()["min_step_latency_seconds"] == 0.0
+
+    def test_merge_snapshots_sums_counts_but_maxes_gauges(self):
+        first, second = RuntimeMetrics(), RuntimeMetrics()
+        first.record_step(0.5)
+        second.record_step(0.1)
+        one, two = first.snapshot(), second.snapshot()
+        # interned_constants is a point-in-time gauge of one shared
+        # pool; two snapshots of the same process must not double it.
+        one["interned_constants"], two["interned_constants"] = 40, 70
+        merged = merge_snapshots([one, two])
+        assert merged["steps_executed"] == 2
+        assert merged["interned_constants"] == 70
 
 
 class TestSnapshotCompaction:
